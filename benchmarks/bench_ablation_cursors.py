@@ -1,0 +1,48 @@
+"""Ablation A2: the per-file cursor budget (§7, §8).
+
+The paper caps cursors per file handle at a "small and constant" number
+and notes (§8) that Grid/MPI-style workloads would want more.  Sweep
+the budget against an 8-stride reader: below 8 cursors the arms recycle
+one another and throughput collapses to default-heuristic levels; at 8+
+the full benefit appears and saturates.
+"""
+
+from conftest import RESULTS_DIR, bench_scale, bench_seed
+
+from repro.bench.runner import run_stride_once
+from repro.host import TestbedConfig
+
+BUDGETS = (1, 2, 4, 8, 16)
+STRIDES = 8
+
+
+def sweep():
+    rows = []
+    for budget in BUDGETS:
+        config = TestbedConfig(
+            drive="scsi", partition=1, transport="udp",
+            server_heuristic="cursor", nfsheur="improved",
+            heuristic_options={"cursor_limit": budget},
+            seed=bench_seed())
+        result = run_stride_once(config, STRIDES, scale=bench_scale())
+        rows.append((budget, result.throughput_mb_s))
+    return rows
+
+
+def test_ablation_cursor_budget(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"Ablation A2: cursor budget vs an {STRIDES}-stride reader "
+             "(scsi1, NFS/UDP)",
+             f"{'cursors':>8s} {'MB/s':>8s}"]
+    for budget, mbps in rows:
+        lines.append(f"{budget:>8d} {mbps:>8.2f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_cursors.txt").write_text(text + "\n")
+
+    by_budget = dict(rows)
+    # Starved budgets recycle cursors before they mature.
+    assert by_budget[8] > 1.1 * by_budget[2]
+    # Enough cursors for every arm: more adds nothing.
+    assert abs(by_budget[16] - by_budget[8]) / by_budget[8] < 0.15

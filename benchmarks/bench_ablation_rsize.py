@@ -1,0 +1,43 @@
+"""Ablation A5: the NFS transfer size (rsize).
+
+The paper fixes rsize at 8 KiB (the NFS v2 maximum and the v3 default
+of the day).  Sweeping it shows why transfer size is itself a
+benchmarking trap: larger transfers amortise per-RPC costs (fewer
+round trips per megabyte) until datagram fragility pushes back — a
+32 KiB UDP datagram spans 22 Ethernet frames, all of which must arrive.
+"""
+
+from conftest import RESULTS_DIR, bench_scale, bench_seed
+
+from repro.bench.runner import run_nfs_once
+from repro.host import TestbedConfig
+from dataclasses import replace
+
+RSIZES = (4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024)
+READERS = 4
+
+
+def sweep():
+    rows = []
+    for rsize in RSIZES:
+        config = TestbedConfig(drive="ide", partition=1, transport="udp",
+                               rsize=rsize, seed=bench_seed())
+        result = run_nfs_once(config, READERS, scale=bench_scale())
+        rows.append((rsize, result.throughput_mb_s))
+    return rows
+
+
+def test_ablation_rsize(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"Ablation A5: rsize sweep ({READERS} readers, ide1, UDP)",
+             f"{'rsize':>7s} {'MB/s':>8s}"]
+    for rsize, mbps in rows:
+        lines.append(f"{rsize:>7d} {mbps:>8.2f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_rsize.txt").write_text(text + "\n")
+
+    by_size = dict(rows)
+    # Bigger transfers amortise per-RPC costs.
+    assert by_size[16 * 1024] > by_size[4 * 1024]

@@ -1,0 +1,10 @@
+"""Regenerate Figure 1: the ZCAV effect on local drives."""
+
+
+def test_fig1_zcav(figure_runner):
+    figure = figure_runner("fig1")
+    # Outer partitions beat inner ones on average (the ZCAV effect).
+    for drive in ("ide", "scsi"):
+        outer = sum(figure.get(f"{drive}1").means)
+        inner = sum(figure.get(f"{drive}4").means)
+        assert outer > inner

@@ -1,0 +1,9 @@
+"""Regenerate Figure 2: tagged command queues on the local SCSI drive."""
+
+
+def test_fig2_tagged_queues(figure_runner):
+    figure = figure_runner("fig2")
+    # Disabling tags substantially improves concurrent throughput.
+    for readers in (8, 16, 32):
+        assert figure.get("scsi1/no-tags").at(readers).mean > \
+            figure.get("scsi1/tags").at(readers).mean

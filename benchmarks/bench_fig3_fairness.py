@@ -1,0 +1,12 @@
+"""Regenerate Figure 3: scheduler fairness (completion distributions)."""
+
+
+def test_fig3_fairness(figure_runner):
+    figure = figure_runner("fig3")
+    elevator = figure.get("ide1/elevator")
+    ncscan = figure.get("ide1/n-cscan")
+    # Elevator staircase: last finisher many times the first.
+    assert elevator.at(8).mean > 4 * elevator.at(1).mean
+    # N-CSCAN: fair, but the whole batch is slower.
+    assert ncscan.at(8).mean < 1.3 * ncscan.at(1).mean
+    assert ncscan.at(8).mean > elevator.at(8).mean

@@ -1,0 +1,8 @@
+"""Regenerate Figure 4: NFS over UDP."""
+
+
+def test_fig4_nfs_udp(figure_runner):
+    figure = figure_runner("fig4")
+    ide1 = figure.get("ide1")
+    # UDP throughput falls substantially as readers increase.
+    assert ide1.at(32).mean < 0.7 * ide1.at(1).mean

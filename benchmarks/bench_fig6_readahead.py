@@ -1,0 +1,11 @@
+"""Regenerate Figure 6: Always vs Default read-ahead, idle/busy client."""
+
+
+def test_fig6_readahead_potential(figure_runner):
+    figure = figure_runner("fig6")
+    # Always read-ahead bounds the default from above at 32 readers.
+    assert figure.get("always/idle").at(32).mean > \
+        figure.get("default/idle").at(32).mean
+    # The busy client is slower at low concurrency.
+    assert figure.get("default/busy").at(1).mean < \
+        figure.get("default/idle").at(1).mean

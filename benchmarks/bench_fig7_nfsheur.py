@@ -1,0 +1,11 @@
+"""Regenerate Figure 7: SlowDown and the enlarged nfsheur table."""
+
+
+def test_fig7_slowdown_nfsheur(figure_runner):
+    figure = figure_runner("fig7")
+    # The enlarged table recovers most of the Always-level throughput.
+    always = figure.get("always").at(32).mean
+    new_table = figure.get("default/new-nfsheur").at(32).mean
+    stock = figure.get("default/default-nfsheur").at(32).mean
+    assert new_table > stock
+    assert new_table > 0.6 * always

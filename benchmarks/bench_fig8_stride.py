@@ -1,0 +1,10 @@
+"""Regenerate Figure 8: stride readers, cursor vs default read-ahead."""
+
+
+def test_fig8_stride(figure_runner):
+    figure = figure_runner("fig8")
+    # Cursor read-ahead wins every (file system, stride) cell.
+    for fs in ("ide1", "scsi1"):
+        for strides in (2, 4, 8):
+            assert figure.get(f"{fs}/cursor").at(strides).mean > \
+                figure.get(f"{fs}/default").at(strides).mean

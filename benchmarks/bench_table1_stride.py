@@ -1,0 +1,20 @@
+"""Regenerate Table 1: mean (std) stride throughput over repeated runs.
+
+The paper's cells, for comparison (mean (std), MB/s)::
+
+    ide1  UDP/Default   7.66 (0.02)   7.83 (0.02)   5.26 (0.02)
+          UDP/Cursor   11.49 (0.29)  14.15 (0.14)  12.66 (0.43)
+    scsi1 UDP/Default   9.49 (0.03)   8.52 (0.04)   8.21 (0.03)
+          UDP/Cursor   15.39 (0.20)  15.38 (0.15)  14.12 (0.46)
+"""
+
+from conftest import bench_runs
+
+
+def test_table1_stride(figure_runner):
+    figure = figure_runner("table1", runs=bench_runs(default=5))
+    # The ide1 default curve dips at s=8; scsi1 default does not.
+    ide_default = figure.get("ide1/default")
+    scsi_default = figure.get("scsi1/default")
+    assert ide_default.at(8).mean < ide_default.at(2).mean
+    assert scsi_default.at(8).mean > 0.7 * scsi_default.at(2).mean

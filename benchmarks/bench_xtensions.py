@@ -1,0 +1,20 @@
+"""Regenerate the three extension experiments (Section 8 etc.)."""
+
+
+def test_xmixed_workload(figure_runner):
+    figure = figure_runner("xmixed")
+    assert figure.get("always").at(0).mean > 0
+
+
+def test_xaged_fs(figure_runner):
+    figure = figure_runner("xaged")
+    # Read-ahead remains worth several-fold on an aged file system.
+    assert figure.get("always").at(0.75).mean > \
+        2 * figure.get("no-readahead").at(0.75).mean
+
+
+def test_xlossy_network(figure_runner):
+    figure = figure_runner("xlossy")
+    # TCP beats UDP decisively once frames are being lost.
+    assert figure.get("tcp").at(0.005).mean > \
+        2 * figure.get("udp").at(0.005).mean

@@ -1,0 +1,62 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Each benchmark runs one paper experiment end to end in the simulator,
+prints the regenerated figure, and archives it under
+``benchmarks/results/``.  pytest-benchmark wraps the run so the wall
+cost of each experiment is tracked too.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — file-size scale factor (default 0.125; set to
+  1.0 for the paper's full 256 MB working set).
+* ``REPRO_BENCH_RUNS`` — runs per point (default 2; the paper uses 10+).
+* ``REPRO_BENCH_SEED`` — master seed (default 0).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.125"))
+
+
+def bench_runs(default: int = 2) -> int:
+    return int(os.environ.get("REPRO_BENCH_RUNS", str(default)))
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture
+def figure_runner(benchmark):
+    """Run a registered experiment under pytest-benchmark and archive
+    the rendered figure."""
+
+    def run(experiment_id: str, runs: int = None, **kwargs):
+        from repro.experiments import get
+
+        experiment = get(experiment_id)
+        settings = dict(scale=bench_scale(),
+                        runs=runs if runs is not None else bench_runs(),
+                        seed=bench_seed())
+        settings.update(kwargs)
+        figure = benchmark.pedantic(
+            lambda: experiment.run(**settings), rounds=1, iterations=1)
+        rendered = figure.render()
+        print()
+        print(rendered)
+        print(f"(paper claim: {experiment.paper_claim})")
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / f"{experiment_id}.txt"
+        out.write_text(rendered + "\n\nsettings: " + repr(settings)
+                       + "\npaper claim: " + experiment.paper_claim
+                       + "\n")
+        return figure
+
+    return run

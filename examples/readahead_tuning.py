@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Tuning NFS server read-ahead: SlowDown and the nfsheur table (§6).
+
+Walks the paper's reasoning end to end, on a busy client (four
+infinite-loop processes) over UDP:
+
+* measure the *potential* improvement with Always-Read-ahead;
+* try SlowDown with the stock nfsheur table — no improvement, because
+  correctly updated entries are ejected before reuse;
+* enlarge the table — suddenly even the *default* heuristic is optimal.
+
+Also shows the heuristics in isolation on a synthetic reordered trace,
+using repro.trace — the analysis view that motivated SlowDown.
+
+Run:  python examples/readahead_tuning.py
+"""
+
+import random
+
+from repro import TestbedConfig, run_nfs_once
+from repro.readahead import DefaultHeuristic, SlowDownHeuristic
+from repro.trace import mean_seqcount, reorder_fraction, sequential_trace
+
+SCALE = 1 / 8
+READERS = 32
+
+
+def end_to_end():
+    print(f"== End to end: {READERS} readers, busy client, "
+          f"NFS/UDP on ide1 ==")
+    configs = [
+        ("always read-ahead (upper bound)",
+         dict(server_heuristic="always")),
+        ("default heuristic, stock nfsheur",
+         dict(server_heuristic="default", nfsheur="default")),
+        ("SlowDown, stock nfsheur",
+         dict(server_heuristic="slowdown", nfsheur="default")),
+        ("SlowDown, enlarged nfsheur",
+         dict(server_heuristic="slowdown", nfsheur="improved")),
+        ("default heuristic, enlarged nfsheur",
+         dict(server_heuristic="default", nfsheur="improved")),
+    ]
+    for label, options in configs:
+        config = TestbedConfig(drive="ide", partition=1, transport="udp",
+                               client_busy_loops=4, **options)
+        result = run_nfs_once(config, READERS, scale=SCALE)
+        print(f"  {label:38s}: {result.throughput_mb_s:6.2f} MB/s")
+    print("  -> the table, not the metric, was the bottleneck "
+          "(the paper's Section 6.3 punchline).\n")
+
+
+def heuristics_on_traces():
+    print("== The metric in isolation: reordered sequential traces ==")
+    for probability in (0.0, 0.02, 0.06, 0.10):
+        trace = sequential_trace("fh", 4000,
+                                 reorder_probability=probability,
+                                 rng=random.Random(42))
+        observed = reorder_fraction(trace)
+        default = mean_seqcount(trace, DefaultHeuristic())
+        slowdown = mean_seqcount(trace, SlowDownHeuristic())
+        print(f"  reordering {observed:5.1%}: mean seqCount "
+              f"default {default:6.1f}, SlowDown {slowdown:6.1f}")
+    print("  -> a few percent of reordering destroys the default "
+          "metric;\n     SlowDown barely notices (Section 6.2).")
+
+
+def main():
+    end_to_end()
+    heuristics_on_traces()
+
+
+if __name__ == "__main__":
+    main()

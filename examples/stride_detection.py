@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Cursor-based stride detection (Section 7), inside and out.
+
+Top half: the cursor data structure itself, fed a stride pattern —
+watch per-cursor sequentiality counts mature where a single descriptor
+sees only randomness.
+
+Bottom half: the end-to-end effect — the paper's Figure 8/Table 1
+benchmark at reduced scale, on both simulated drives.
+
+Run:  python examples/stride_detection.py
+"""
+
+from repro import TestbedConfig, run_stride_once
+from repro.readahead import (CursorHeuristic, DefaultHeuristic,
+                             ReadState)
+
+BLOCK = 8 * 1024
+SCALE = 1 / 8
+
+
+def inside_view():
+    print("== Inside the heuristic: an 8 KiB reader striding 4 ways ==")
+    cursor_state, default_state = ReadState(), ReadState()
+    cursor, default = CursorHeuristic(), DefaultHeuristic()
+    arm_span = 64 * 1024 * 1024  # quarter of a 256 MB file
+    step = 0
+    for round_index in range(12):
+        for arm in range(4):
+            offset = arm * arm_span + round_index * BLOCK
+            cursor_count = cursor.observe(cursor_state, offset, BLOCK,
+                                          now=float(step))
+            default_count = default.observe(default_state, offset, BLOCK)
+            step += 1
+        if round_index in (0, 3, 11):
+            counts = [c.seq_count for c in cursor_state.cursors]
+            print(f"  after round {round_index + 1:2d}: cursor counts "
+                  f"per arm {counts}, default metric {default_count}")
+    print("  -> four cursors mature to deep read-ahead; the default "
+          "metric stays at 1.\n")
+
+
+def end_to_end():
+    print("== End to end: single stride reader over NFS/UDP ==")
+    print(f"{'file system':12s} {'heuristic':8s} "
+          f"{'s=2':>7s} {'s=4':>7s} {'s=8':>7s}")
+    for drive in ("ide", "scsi"):
+        for heuristic, table in (("default", "default"),
+                                 ("cursor", "improved")):
+            row = []
+            for strides in (2, 4, 8):
+                config = TestbedConfig(drive=drive, partition=1,
+                                       transport="udp",
+                                       server_heuristic=heuristic,
+                                       nfsheur=table)
+                result = run_stride_once(config, strides, scale=SCALE)
+                row.append(f"{result.throughput_mb_s:7.2f}")
+            print(f"{drive + '1':12s} {heuristic:8s} {' '.join(row)}")
+    print("\n  Compare the paper's Table 1: cursors win every cell, and")
+    print("  the IDE drive's default curve dips at s=8 (its firmware")
+    print("  cache keeps fewer prefetch streams than the stride has "
+          "arms).")
+
+
+def main():
+    inside_view()
+    end_to_end()
+
+
+if __name__ == "__main__":
+    main()

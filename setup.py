@@ -1,0 +1,8 @@
+"""Setup shim: all metadata lives in pyproject.toml.
+
+Present so that ``pip install -e .`` works in offline environments where
+the ``wheel`` package (needed for PEP 660 editable installs) is missing.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Benchmark harness: file sets, readers, and the multi-run driver."""
+
+from .fileset import (FileSpec, ITERATION_BYTES, READER_COUNTS,
+                      files_for_readers, full_fileset)
+from .readers import (ReaderResult, SEQUENTIAL_READ_SIZE,
+                      STRIDE_READ_SIZE, sequential_reader, stride_offsets,
+                      stride_reader)
+from .runner import (RunResult, repeat, run_local_once, run_nfs_once,
+                     run_stride_once)
+
+__all__ = [
+    "FileSpec",
+    "files_for_readers",
+    "full_fileset",
+    "READER_COUNTS",
+    "ITERATION_BYTES",
+    "ReaderResult",
+    "sequential_reader",
+    "stride_reader",
+    "stride_offsets",
+    "SEQUENTIAL_READ_SIZE",
+    "STRIDE_READ_SIZE",
+    "RunResult",
+    "run_local_once",
+    "run_nfs_once",
+    "run_stride_once",
+    "repeat",
+]

@@ -1,0 +1,60 @@
+"""The paper's benchmark file set (§4.3).
+
+The testing directory holds one 256 MB file, two 128 MB files, four
+64 MB, eight 32 MB, sixteen 16 MB, and thirty-two 8 MB files — 1.5 GB in
+total, every block non-zero.  Each benchmark iteration with ``n``
+readers reads the ``n`` files of size ``256/n`` MB, so every iteration
+moves the same 256 MB.
+
+``scale`` shrinks every file by the same factor so the pure-Python
+simulator finishes quickly; throughput is computed from simulated time,
+so reported MB/s is comparable across scales (and EXPERIMENTS.md
+records the scale used for every number).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+MB = 1024 * 1024
+
+#: Reader counts the paper sweeps (§4.3).
+READER_COUNTS = (1, 2, 4, 8, 16, 32)
+
+#: Total bytes read per iteration (the 256 MB working set).
+ITERATION_BYTES = 256 * MB
+
+
+@dataclass(frozen=True)
+class FileSpec:
+    name: str
+    size: int
+
+
+def files_for_readers(nreaders: int, scale: float = 1.0,
+                      total_bytes: int = ITERATION_BYTES
+                      ) -> List[FileSpec]:
+    """The ``nreaders`` files of one benchmark iteration."""
+    if nreaders < 1:
+        raise ValueError("need at least one reader")
+    if not 0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    size = int(total_bytes * scale) // nreaders
+    if size <= 0:
+        raise ValueError("scale too small for this reader count")
+    mb = size // MB
+    label = f"{mb}mb" if mb else f"{size}b"
+    return [FileSpec(name=f"{label}.{index}", size=size)
+            for index in range(nreaders)]
+
+
+def full_fileset(scale: float = 1.0,
+                 counts: Sequence[int] = READER_COUNTS) -> List[FileSpec]:
+    """Every file the paper's testing directory contains (1.5 GB at
+    scale 1), in creation order: biggest first, as the setup script
+    would lay them out."""
+    specs: List[FileSpec] = []
+    for nreaders in counts:
+        specs.extend(files_for_readers(nreaders, scale))
+    return specs

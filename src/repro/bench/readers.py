@@ -1,0 +1,90 @@
+"""Reader processes: sequential (§4.2) and stride (§7).
+
+Each reader is a simulation process that opens its file, reads it
+according to its pattern, and records its completion time — the raw
+material for both the throughput figures and the fairness distributions
+of Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Application read() size for the sequential benchmark.  The NFS client
+#: splits this into 8 KiB wire reads regardless; locally it matches a
+#: typical stdio buffer.
+SEQUENTIAL_READ_SIZE = 64 * 1024
+
+#: The stride benchmark reads single NFS-block-sized chunks (§7).
+STRIDE_READ_SIZE = 8 * 1024
+
+
+@dataclass
+class ReaderResult:
+    name: str
+    bytes_read: int = 0
+    start_time: float = 0.0
+    finish_time: float = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        return self.finish_time - self.start_time
+
+
+def sequential_reader(sim, open_fn, read_fn, size: int,
+                      result: ReaderResult,
+                      read_size: int = SEQUENTIAL_READ_SIZE,
+                      think_time: float = 0.0):
+    """Read a file from start to end (generator process).
+
+    ``open_fn()`` is a generator returning a handle; ``read_fn(handle,
+    offset, nbytes)`` is a generator returning bytes read.  The same
+    reader body therefore drives both the local FFS and an NFS mount.
+    """
+    result.start_time = sim.now
+    handle = yield from open_fn()
+    offset = 0
+    while offset < size:
+        nbytes = min(read_size, size - offset)
+        got = yield from read_fn(handle, offset, nbytes)
+        if got <= 0:
+            break
+        result.bytes_read += got
+        offset += got
+        if think_time > 0:
+            yield sim.timeout(think_time)
+    result.finish_time = sim.now
+    return result
+
+
+def stride_offsets(size: int, strides: int,
+                   read_size: int = STRIDE_READ_SIZE) -> List[int]:
+    """The §7 access pattern: ``0, x, 1, x+1, ...`` generalised.
+
+    The file is split into ``strides`` equal arms; reads rotate through
+    the arms, advancing each by one block per round — the composition of
+    ``strides`` perfectly sequential sub-streams.
+    """
+    if strides < 1:
+        raise ValueError("need at least one stride arm")
+    blocks = size // read_size
+    arm_blocks = blocks // strides
+    offsets = []
+    for round_index in range(arm_blocks):
+        for arm in range(strides):
+            offsets.append((arm * arm_blocks + round_index) * read_size)
+    return offsets
+
+
+def stride_reader(sim, open_fn, read_fn, size: int, strides: int,
+                  result: ReaderResult,
+                  read_size: int = STRIDE_READ_SIZE):
+    """Read a file in a stride pattern (generator process)."""
+    result.start_time = sim.now
+    handle = yield from open_fn()
+    for offset in stride_offsets(size, strides, read_size):
+        got = yield from read_fn(handle, offset, read_size)
+        result.bytes_read += got
+    result.finish_time = sim.now
+    return result

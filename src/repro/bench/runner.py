@@ -1,0 +1,172 @@
+"""The multi-run benchmark driver (§4.3).
+
+A *run* builds a fresh testbed (fresh simulator, fresh caches — the
+strongest form of the paper's cache-defeat protocol), creates the file
+set, starts all readers concurrently, and records each reader's
+completion time.  "The number of MB read divided by the time required
+for the last reader to finish gives the effective throughput."
+
+Each benchmark point repeats the run with distinct seeds and summarises
+with mean and standard deviation, as the paper does ("each point
+represents the average of at least ten separate runs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..host.testbed import (LocalTestbed, NfsTestbed, TestbedConfig,
+                            build_local_testbed, build_nfs_testbed)
+from ..sim import Simulator
+from ..stats import RunningSummary, Summary
+from .fileset import FileSpec, files_for_readers
+from .readers import ReaderResult, sequential_reader, stride_reader
+
+MB = 1024 * 1024
+
+
+@dataclass
+class RunResult:
+    """One run: per-reader results plus the §4.2 throughput formula."""
+
+    readers: List[ReaderResult]
+    total_bytes: int
+
+    @property
+    def elapsed(self) -> float:
+        return max(reader.finish_time for reader in self.readers)
+
+    @property
+    def throughput_mb_s(self) -> float:
+        return self.total_bytes / MB / self.elapsed
+
+    def completion_times(self) -> List[float]:
+        """Sorted per-reader completion times (Figure 3's raw data)."""
+        return sorted(reader.finish_time for reader in self.readers)
+
+
+def _run_readers(testbed, spawn_reader, specs: Sequence[FileSpec]
+                 ) -> RunResult:
+    sim: Simulator = testbed.sim
+    results = [ReaderResult(spec.name) for spec in specs]
+    processes = [spawn_reader(testbed, spec, result)
+                 for spec, result in zip(specs, results)]
+    sim.run()
+    for process in processes:
+        if process.error is not None:
+            raise process.error
+        if not process.finished:
+            raise RuntimeError(f"reader {process.name} never finished")
+    return RunResult(readers=results,
+                     total_bytes=sum(r.bytes_read for r in results))
+
+
+# ---------------------------------------------------------------------------
+# Local (Figures 1-3)
+# ---------------------------------------------------------------------------
+
+def run_local_once(config: TestbedConfig, nreaders: int,
+                   scale: float = 1.0) -> RunResult:
+    """One local-FS run with ``nreaders`` concurrent sequential readers."""
+    testbed = build_local_testbed(config)
+    specs = files_for_readers(nreaders, scale)
+    inodes = {spec.name: testbed.fs.create_file(spec.name, spec.size)
+              for spec in specs}
+
+    def spawn(tb: LocalTestbed, spec: FileSpec, result: ReaderResult):
+        def open_fn():
+            return tb.fs.open(inodes[spec.name])
+            yield  # pragma: no cover - makes open_fn a generator
+
+        def read_fn(handle, offset, nbytes):
+            got = yield from tb.fs.read(handle, offset, nbytes)
+            return got
+
+        return tb.sim.spawn(
+            sequential_reader(tb.sim, open_fn, read_fn, spec.size, result),
+            name=f"reader:{spec.name}")
+
+    return _run_readers(testbed, spawn, specs)
+
+
+# ---------------------------------------------------------------------------
+# NFS (Figures 4-7)
+# ---------------------------------------------------------------------------
+
+def run_nfs_once(config: TestbedConfig, nreaders: int,
+                 scale: float = 1.0) -> RunResult:
+    """One NFS run with ``nreaders`` concurrent sequential readers.
+
+    Readers are distributed round-robin over the testbed's client
+    machines (one, unless ``config.num_clients`` says otherwise).
+    """
+    testbed = build_nfs_testbed(config)
+    specs = files_for_readers(nreaders, scale)
+    for spec in specs:
+        testbed.server.export_file(spec.name, spec.size)
+    counter = {"next": 0}
+
+    def spawn(tb: NfsTestbed, spec: FileSpec, result: ReaderResult):
+        mount = tb.mount_for(counter["next"])
+        counter["next"] += 1
+
+        def open_fn():
+            nfile = yield from mount.open(spec.name)
+            return nfile
+
+        def read_fn(handle, offset, nbytes):
+            got = yield from mount.read(handle, offset, nbytes)
+            return got
+
+        return tb.sim.spawn(
+            sequential_reader(tb.sim, open_fn, read_fn, spec.size, result),
+            name=f"reader:{spec.name}")
+
+    return _run_readers(testbed, spawn, specs)
+
+
+# ---------------------------------------------------------------------------
+# Stride over NFS (Figure 8 / Table 1)
+# ---------------------------------------------------------------------------
+
+def run_stride_once(config: TestbedConfig, strides: int,
+                    scale: float = 1.0,
+                    file_bytes: int = 256 * MB) -> RunResult:
+    """One single-reader stride run over NFS (§7's benchmark)."""
+    testbed = build_nfs_testbed(config)
+    size = int(file_bytes * scale)
+    spec = FileSpec(name="stride-file", size=size)
+    testbed.server.export_file(spec.name, spec.size)
+
+    def spawn(tb: NfsTestbed, spec_: FileSpec, result: ReaderResult):
+        def open_fn():
+            nfile = yield from tb.mount.open(spec_.name)
+            return nfile
+
+        def read_fn(handle, offset, nbytes):
+            got = yield from tb.mount.read(handle, offset, nbytes)
+            return got
+
+        return tb.sim.spawn(
+            stride_reader(tb.sim, open_fn, read_fn, spec_.size, strides,
+                          result),
+            name=f"stride:{spec_.name}")
+
+    return _run_readers(testbed, spawn, [spec])
+
+
+# ---------------------------------------------------------------------------
+# Repetition
+# ---------------------------------------------------------------------------
+
+def repeat(run_once: Callable[[TestbedConfig], RunResult],
+           config: TestbedConfig, runs: int = 10) -> Summary:
+    """Repeat a run with per-run seeds; summarise throughput (MB/s)."""
+    if runs < 1:
+        raise ValueError("need at least one run")
+    acc = RunningSummary()
+    for index in range(runs):
+        result = run_once(config.with_seed(config.seed + 1000 * index))
+        acc.add(result.throughput_mb_s)
+    return acc.freeze()

@@ -1,0 +1,85 @@
+"""Command-line entry point: regenerate any paper figure or table.
+
+Examples::
+
+    nfstricks list
+    nfstricks fig1
+    nfstricks table1 --runs 10 --scale 0.125
+    python -m repro fig7 --runs 5 --seed 42
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import all_experiments, get
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nfstricks",
+        description=("Reproduce figures and tables from 'NFS Tricks and "
+                     "Benchmarking Traps' (USENIX 2003) in simulation."))
+    parser.add_argument("experiment",
+                        help="experiment id (fig1..fig8, table1) or "
+                             "'list' / 'all'")
+    parser.add_argument("--scale", type=float, default=0.125,
+                        help="file-size scale factor; 1.0 is the paper's "
+                             "256 MB working set (default: 0.125)")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="runs per point (paper uses >=10; "
+                             "default: 3)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master random seed (default: 0)")
+    parser.add_argument("--no-std", action="store_true",
+                        help="print means only, no standard deviations")
+    parser.add_argument("--plot", action="store_true",
+                        help="also draw an ASCII chart of the figure")
+    return parser
+
+
+def _list_experiments() -> None:
+    for experiment in all_experiments():
+        print(f"{experiment.id:8s} {experiment.title}")
+        print(f"{'':8s}   paper: {experiment.paper_claim}")
+
+
+def _run_one(experiment_id: str, args) -> None:
+    experiment = get(experiment_id)
+    started = time.time()
+    figure = experiment.run(scale=args.scale, runs=args.runs,
+                            seed=args.seed)
+    elapsed = time.time() - started
+    print(figure.render(show_std=not args.no_std))
+    if args.plot:
+        from .stats import render_plot
+        print()
+        print(render_plot(figure))
+    print(f"\n[{experiment.id}] scale={args.scale} runs={args.runs} "
+          f"seed={args.seed} wall={elapsed:.1f}s")
+    print(f"paper claim: {experiment.paper_claim}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        _list_experiments()
+        return 0
+    if args.experiment == "all":
+        for experiment in all_experiments():
+            _run_one(experiment.id, args)
+            print()
+        return 0
+    try:
+        _run_one(args.experiment, args)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Disk models: ZCAV geometry, mechanics, firmware cache and scheduler.
+
+The public surface is :class:`DiskDrive` plus the two paper drive
+presets, :data:`IBM_DDYS_T36950N` (SCSI) and :data:`WDC_WD200BB` (IDE).
+"""
+
+from .cache import CacheLookup, Segment, SegmentedCache
+from .drive import DiskDrive
+from .geometry import (DiskGeometry, Zone, make_linear_zcav_zones,
+                       SECTOR_SIZE)
+from .mechanics import RotationModel, SeekModel
+from .models import (DriveSpec, IBM_DDYS_T36950N, Partition, WDC_WD200BB,
+                     make_partitions)
+from .request import DiskRequest, DriveStats
+from .scheduler import AgedSptfFirmware, FifoFirmware, FirmwareScheduler
+
+__all__ = [
+    "DiskDrive",
+    "DiskGeometry",
+    "Zone",
+    "SECTOR_SIZE",
+    "make_linear_zcav_zones",
+    "SeekModel",
+    "RotationModel",
+    "SegmentedCache",
+    "Segment",
+    "CacheLookup",
+    "DiskRequest",
+    "DriveStats",
+    "FirmwareScheduler",
+    "FifoFirmware",
+    "AgedSptfFirmware",
+    "DriveSpec",
+    "IBM_DDYS_T36950N",
+    "WDC_WD200BB",
+    "Partition",
+    "make_partitions",
+]

@@ -1,0 +1,87 @@
+"""Disk request objects and per-drive instrumentation counters."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class DiskRequest:
+    """A single read command as seen by the drive.
+
+    ``stream`` is an opaque tag (file id, process name) used only by the
+    instrumentation — real drives see nothing of the sort, and none of
+    the schedulers may consult it.
+    """
+
+    lba: int
+    nsectors: int
+    arrival: float = 0.0
+    is_write: bool = False
+    stream: Any = None
+    done: Any = None          # Event, filled in by the submitter
+    id: int = field(default_factory=lambda: next(_request_ids))
+
+    #: Filled in by the drive at completion time (instrumentation).
+    service_start: float = 0.0
+    completion: float = 0.0
+    serviced_from_cache: bool = False
+
+    @property
+    def end_lba(self) -> int:
+        return self.lba + self.nsectors
+
+    def __repr__(self) -> str:
+        return (f"<DiskRequest #{self.id} lba={self.lba} "
+                f"n={self.nsectors} stream={self.stream}>")
+
+
+@dataclass
+class DriveStats:
+    """Counters the paper's kernel instrumentation would have kept.
+
+    ``arrival_order`` vs ``service_order`` is exactly the comparison the
+    authors ran to confirm that tagged command queues reorder requests
+    (§5.2); ``reorder_fraction`` summarises it.
+    """
+
+    requests: int = 0
+    writes: int = 0
+    cache_hits: int = 0
+    sequential_continuations: int = 0
+    media_reads: int = 0
+    seeks: int = 0
+    total_seek_cylinders: int = 0
+    busy_time: float = 0.0
+    bytes_read: int = 0
+    arrival_order: List[int] = field(default_factory=list)
+    service_order: List[int] = field(default_factory=list)
+
+    def record_orders_match(self) -> bool:
+        """True iff the drive serviced requests in arrival order."""
+        return self.arrival_order == self.service_order
+
+    @property
+    def reorder_fraction(self) -> float:
+        """Fraction of requests serviced out of arrival order.
+
+        Counted as the fraction of adjacent service pairs that are
+        inversions relative to arrival order.
+        """
+        order = self.service_order
+        if len(order) < 2:
+            return 0.0
+        rank = {rid: i for i, rid in enumerate(self.arrival_order)}
+        inversions = sum(
+            1 for a, b in zip(order, order[1:]) if rank[a] > rank[b])
+        return inversions / (len(order) - 1)
+
+    @property
+    def cache_hit_fraction(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.cache_hits / self.requests

@@ -1,0 +1,78 @@
+"""Shared sweep helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..bench.fileset import READER_COUNTS
+from ..bench.runner import (RunResult, run_local_once, run_nfs_once,
+                            run_stride_once)
+from ..host.testbed import TestbedConfig
+from ..stats import RunningSummary, SeriesSet
+
+
+def sweep_readers(title: str,
+                  configs: Sequence[Tuple[str, TestbedConfig]],
+                  run_once: Callable[..., RunResult],
+                  reader_counts: Sequence[int] = READER_COUNTS,
+                  scale: float = 0.125, runs: int = 3,
+                  seed: int = 0) -> SeriesSet:
+    """Throughput vs concurrent readers, one series per configuration."""
+    figure = SeriesSet(title=title, xlabel="readers")
+    for label, config in configs:
+        series = figure.new_series(label)
+        for nreaders in reader_counts:
+            acc = RunningSummary()
+            for run_index in range(runs):
+                run_config = config.with_seed(
+                    seed + 1000 * run_index + nreaders)
+                result = run_once(run_config, nreaders, scale=scale)
+                acc.add(result.throughput_mb_s)
+            series.add(nreaders, acc.freeze())
+    return figure
+
+
+def sweep_strides(title: str,
+                  configs: Sequence[Tuple[str, TestbedConfig]],
+                  strides: Sequence[int] = (2, 4, 8),
+                  scale: float = 0.125, runs: int = 3,
+                  seed: int = 0) -> SeriesSet:
+    """Stride-read throughput vs stride count (§7's benchmark)."""
+    figure = SeriesSet(title=title, xlabel="strides")
+    for label, config in configs:
+        series = figure.new_series(label)
+        for stride_count in strides:
+            acc = RunningSummary()
+            for run_index in range(runs):
+                run_config = config.with_seed(
+                    seed + 1000 * run_index + stride_count)
+                result = run_stride_once(run_config, stride_count,
+                                         scale=scale)
+                acc.add(result.throughput_mb_s)
+            series.add(stride_count, acc.freeze())
+    return figure
+
+
+def completion_distribution(title: str,
+                            configs: Sequence[Tuple[str, TestbedConfig]],
+                            nreaders: int = 8,
+                            scale: float = 0.125, runs: int = 3,
+                            seed: int = 0) -> SeriesSet:
+    """Mean time for the k-th of ``nreaders`` processes to finish.
+
+    This is Figure 3: per-process completion times under different disk
+    schedulers, eight concurrent readers of 32 MB each.
+    """
+    figure = SeriesSet(title=title, xlabel="processes completed",
+                       ylabel="Time to completion (s)")
+    for label, config in configs:
+        accumulators = [RunningSummary() for _ in range(nreaders)]
+        for run_index in range(runs):
+            run_config = config.with_seed(seed + 1000 * run_index)
+            result = run_local_once(run_config, nreaders, scale=scale)
+            for position, finish in enumerate(result.completion_times()):
+                accumulators[position].add(finish)
+        series = figure.new_series(label)
+        for position, acc in enumerate(accumulators):
+            series.add(position + 1, acc.freeze())
+    return figure

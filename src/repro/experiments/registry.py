@@ -1,0 +1,65 @@
+"""Experiment registry: one entry per paper figure/table.
+
+Each experiment module registers a callable ``run(scale, runs, seed)``
+returning a :class:`~repro.stats.series.SeriesSet`; the CLI and the
+benchmark harness discover experiments here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..stats import SeriesSet
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered reproduction target."""
+
+    id: str
+    title: str
+    paper_claim: str
+    runner: Callable[..., SeriesSet]
+
+    def run(self, scale: float = 0.125, runs: int = 3,
+            seed: int = 0, **kwargs) -> SeriesSet:
+        return self.runner(scale=scale, runs=runs, seed=seed, **kwargs)
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(id: str, title: str, paper_claim: str):
+    """Decorator: register a runner under an experiment id."""
+
+    def wrap(runner):
+        if id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {id!r}")
+        _REGISTRY[id] = Experiment(id=id, title=title,
+                                   paper_claim=paper_claim, runner=runner)
+        return runner
+
+    return wrap
+
+
+def get(id: str) -> Experiment:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[id]
+    except KeyError:
+        raise KeyError(f"unknown experiment {id!r}; known: "
+                       f"{sorted(_REGISTRY)}") from None
+
+
+def all_experiments() -> List[Experiment]:
+    _ensure_loaded()
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+def _ensure_loaded() -> None:
+    """Import every experiment module exactly once."""
+    from . import (fig1_zcav, fig2_tagged_queues, fig3_fairness,  # noqa
+                   fig4_nfs_udp, fig5_nfs_tcp, fig6_readahead_potential,
+                   fig7_slowdown_nfsheur, fig8_stride, table1_stride,
+                   xaged_fs, xlossy_network, xmixed_workload)

@@ -1,0 +1,17 @@
+"""An FFS-like file system: allocation, inodes, and the read path."""
+
+from .allocator import (AllocationError, DEFAULT_BLOCK_SIZE,
+                        SequentialAllocator)
+from .filesystem import FfsParams, FileHandle, FileSystem
+from .inode import Extent, Inode
+
+__all__ = [
+    "FileSystem",
+    "FileHandle",
+    "FfsParams",
+    "Inode",
+    "Extent",
+    "SequentialAllocator",
+    "AllocationError",
+    "DEFAULT_BLOCK_SIZE",
+]

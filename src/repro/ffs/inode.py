@@ -1,0 +1,88 @@
+"""Inodes and extent maps.
+
+Files are described by extents — contiguous runs of disk blocks — rather
+than FFS's real indirect-block tree, which is irrelevant to read-path
+scheduling behaviour.  A fresh file system allocates each file as one
+extent; the allocator's aging knob produces multi-extent files.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+_inode_numbers = itertools.count(2)  # 0/1 reserved, as tradition demands
+
+
+@dataclass(frozen=True)
+class Extent:
+    """``nblocks`` file blocks starting at ``file_block`` live at
+    ``disk_block`` (both in units of the file system block size)."""
+
+    file_block: int
+    disk_block: int
+    nblocks: int
+
+    def __post_init__(self):
+        if self.nblocks <= 0:
+            raise ValueError("extent must cover at least one block")
+        if self.file_block < 0 or self.disk_block < 0:
+            raise ValueError("extent positions cannot be negative")
+
+    @property
+    def file_end(self) -> int:
+        return self.file_block + self.nblocks
+
+
+@dataclass
+class Inode:
+    """A file: name, logical size, and its extent map."""
+
+    name: str
+    size: int
+    extents: List[Extent] = field(default_factory=list)
+    number: int = field(default_factory=lambda: next(_inode_numbers))
+
+    def __post_init__(self):
+        if self.size < 0:
+            raise ValueError("file size cannot be negative")
+
+    @property
+    def nblocks(self) -> int:
+        return sum(extent.nblocks for extent in self.extents)
+
+    def first_disk_block(self) -> int:
+        if not self.extents:
+            raise ValueError(f"{self.name}: no extents allocated")
+        return self.extents[0].disk_block
+
+    def map_range(self, file_block: int, nblocks: int
+                  ) -> List[Tuple[int, int]]:
+        """Translate file blocks to disk runs: [(disk_block, nblocks)].
+
+        Raises if the range extends past the allocated blocks — the
+        caller is expected to clamp to EOF first.
+        """
+        if nblocks <= 0:
+            raise ValueError("must map at least one block")
+        runs: List[Tuple[int, int]] = []
+        remaining = nblocks
+        cursor = file_block
+        for extent in self.extents:
+            if cursor >= extent.file_end or cursor < extent.file_block:
+                continue
+            offset = cursor - extent.file_block
+            take = min(remaining, extent.nblocks - offset)
+            disk_start = extent.disk_block + offset
+            if runs and runs[-1][0] + runs[-1][1] == disk_start:
+                runs[-1] = (runs[-1][0], runs[-1][1] + take)
+            else:
+                runs.append((disk_start, take))
+            cursor += take
+            remaining -= take
+            if remaining == 0:
+                return runs
+        raise ValueError(
+            f"{self.name}: range [{file_block}, {file_block + nblocks}) "
+            "not fully mapped")

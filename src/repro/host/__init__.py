@@ -1,0 +1,15 @@
+"""Hosts and canned testbeds."""
+
+from .machine import Machine
+from .testbed import (DRIVE_SPECS, LocalTestbed, NfsTestbed, TestbedConfig,
+                      build_local_testbed, build_nfs_testbed)
+
+__all__ = [
+    "Machine",
+    "TestbedConfig",
+    "LocalTestbed",
+    "NfsTestbed",
+    "build_local_testbed",
+    "build_nfs_testbed",
+    "DRIVE_SPECS",
+]

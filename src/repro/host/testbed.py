@@ -1,0 +1,235 @@
+"""Canned testbeds reproducing the paper's experimental setup (§4.1).
+
+Two builders:
+
+* :func:`build_local_testbed` — a server machine with one benchmark
+  disk and a local FFS (Figures 1–3);
+* :func:`build_nfs_testbed` — the full client/switch/server path
+  (Figures 4–8, Table 1).
+
+Both take a :class:`TestbedConfig`, which names the drive (``ide`` /
+``scsi``), the partition (1 = outermost … 4 = innermost), the kernel
+disk scheduler, tagged-queueing state, transport, server heuristic, and
+nfsheur parameters — every knob the paper turns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Union
+
+from ..disk import (DiskDrive, DriveSpec, IBM_DDYS_T36950N, Partition,
+                    WDC_WD200BB, make_partitions)
+from ..ffs import FfsParams, FileSystem, SequentialAllocator
+from ..kernel import BufferCache, DiskIoScheduler
+from ..net import (GIGABIT, Link, RpcClient, RpcServer, SERVER_PCI_DMA,
+                   TcpConnection, UdpEndpoint)
+from ..nfs import (DEFAULT_NFSHEUR, IMPROVED_NFSHEUR, NfsHeurParams,
+                   NfsMount, NfsMountConfig, NfsServer, NfsServerConfig)
+from ..readahead import Heuristic, make_heuristic
+from ..sim import RandomStreams, RateLimiter, Simulator
+from .machine import Machine
+
+DRIVE_SPECS: Dict[str, DriveSpec] = {
+    "ide": WDC_WD200BB,
+    "scsi": IBM_DDYS_T36950N,
+}
+
+NFSHEUR_PARAMS: Dict[str, NfsHeurParams] = {
+    "default": DEFAULT_NFSHEUR,
+    "improved": IMPROVED_NFSHEUR,
+}
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """One experimental configuration.
+
+    ``drive``+``partition`` name the file systems of the paper
+    (``ide1``, ``scsi4``, ...).  ``seed`` varies across repeated runs;
+    everything stochastic derives from it.
+    """
+
+    __test__ = False  # not a pytest collection target
+
+    drive: str = "ide"
+    partition: int = 1
+    tagged_queueing: Optional[bool] = None   # None = drive capability
+    bufq_policy: str = "elevator"
+    transport: str = "udp"
+    server_heuristic: str = "default"
+    heuristic_options: dict = field(default_factory=dict)
+    nfsheur: Union[str, NfsHeurParams] = "default"
+    client_busy_loops: int = 0
+    server_cache_bytes: int = 160 * 1024 * 1024
+    loss_rate: float = 0.0
+    fragmentation: float = 0.0
+    #: Number of client machines sharing the mount (readers are
+    #: distributed round-robin across them by the benchmark runner).
+    num_clients: int = 1
+    #: NFS transfer size (rsize); the paper uses 8 KiB throughout.
+    rsize: int = 8 * 1024
+    #: Record READ arrivals at the server (reordering instrumentation).
+    record_server_trace: bool = False
+    seed: int = 0
+
+    def fs_label(self) -> str:
+        return f"{self.drive}{self.partition}"
+
+    def with_seed(self, seed: int) -> "TestbedConfig":
+        return replace(self, seed=seed)
+
+    def nfsheur_params(self) -> NfsHeurParams:
+        if isinstance(self.nfsheur, NfsHeurParams):
+            return self.nfsheur
+        try:
+            return NFSHEUR_PARAMS[self.nfsheur]
+        except KeyError:
+            raise ValueError(
+                f"unknown nfsheur preset {self.nfsheur!r}") from None
+
+
+class LocalTestbed:
+    """A machine, a drive, and a local file system."""
+
+    def __init__(self, config: TestbedConfig):
+        if config.drive not in DRIVE_SPECS:
+            raise ValueError(f"unknown drive {config.drive!r}")
+        if not 1 <= config.partition <= 4:
+            raise ValueError("partition must be 1..4")
+        self.config = config
+        self.sim = Simulator()
+        self.streams = RandomStreams(config.seed)
+        spec = DRIVE_SPECS[config.drive]
+        self.machine = Machine(self.sim, "server",
+                               rng=self.streams.stream("server-cpu"))
+        # The server's PCI/DMA ceiling (§4.1): disk DMA and NIC DMA
+        # share it, which is what caps NFS well below both the wire and
+        # the media rate.
+        self.server_pci = RateLimiter(self.sim, SERVER_PCI_DMA)
+        self.drive: DiskDrive = spec.build(
+            self.sim, tagged_queueing=config.tagged_queueing,
+            cache_rng=self.streams.stream("drive-cache"),
+            bus=self.server_pci)
+        self.partitions: List[Partition] = make_partitions(
+            self.drive.geometry, prefix=config.drive)
+        self.partition = self.partitions[config.partition - 1]
+        self.iosched = DiskIoScheduler(self.sim, self.drive,
+                                       policy=config.bufq_policy)
+        self.cache = BufferCache(self.sim, self.iosched,
+                                 capacity_bytes=config.server_cache_bytes)
+        allocator = SequentialAllocator(
+            self.partition,
+            fragmentation=config.fragmentation,
+            rng=self.streams.stream("allocator"))
+        self.fs = FileSystem(self.sim, self.cache, allocator)
+
+    def flush_caches(self) -> None:
+        """The §4.3.1 cache-defeat protocol, in one call."""
+        self.cache.flush()
+        self.drive.flush_cache()
+
+
+class NfsTestbed(LocalTestbed):
+    """The full path: client machine(s), gigabit switch, NFS server.
+
+    With ``num_clients > 1``, each client gets its own machine, NIC,
+    transport endpoints, and mount; they all talk to the one server,
+    whose single NIC (and PCI bus) carries every reply — the shared
+    bottlenecks are physical, as on the real switch.
+    """
+
+    def __init__(self, config: TestbedConfig):
+        super().__init__(config)
+        if config.num_clients < 1:
+            raise ValueError("need at least one client")
+        sim = self.sim
+
+        # The server's one transmit NIC; its PCI bus is shared with the
+        # disk (§4.1).
+        self.server_tx = Link(sim, GIGABIT, bus=self.server_pci,
+                              name="server-tx")
+        heuristic: Heuristic = make_heuristic(
+            config.server_heuristic, **config.heuristic_options)
+        self.server: Optional[NfsServer] = None
+
+        self.client_machines: List[Machine] = []
+        self.mounts: List[NfsMount] = []
+        for index in range(config.num_clients):
+            machine = Machine(
+                sim, f"client{index}",
+                rng=self.streams.stream(f"client-cpu{index}"),
+                busy_processes=config.client_busy_loops)
+            client_tx = Link(sim, GIGABIT, name=f"client{index}-tx")
+            rpc_client, rpc_server = self._make_channel(
+                config, index, client_tx)
+            if self.server is None:
+                self.server = NfsServer(
+                    sim, self.machine, self.fs, rpc_server,
+                    heuristic=heuristic,
+                    config=NfsServerConfig(
+                        nfsheur_params=config.nfsheur_params(),
+                        record_trace=config.record_server_trace))
+            else:
+                rpc_server.serve(self.server.handle)
+            mount = NfsMount(
+                sim, machine, rpc_client,
+                config=NfsMountConfig(transport=config.transport,
+                                      read_size=config.rsize),
+                name=f"mnt{index}")
+            self.client_machines.append(machine)
+            self.mounts.append(mount)
+
+        # Single-client conveniences (the common case).
+        self.client_machine = self.client_machines[0]
+        self.mount = self.mounts[0]
+
+    def _make_channel(self, config: TestbedConfig, index: int,
+                      client_tx: Link):
+        sim = self.sim
+        if config.transport == "udp":
+            client_ep = UdpEndpoint(
+                sim, client_tx, loss_rate=config.loss_rate,
+                rng=self.streams.stream(f"udp-up{index}"),
+                name=f"udp-client{index}")
+            server_ep = UdpEndpoint(
+                sim, self.server_tx, loss_rate=config.loss_rate,
+                rng=self.streams.stream(f"udp-down{index}"),
+                name=f"udp-server{index}")
+            client_ep.connect(server_ep)
+            server_ep.connect(client_ep)
+            rpc_client = RpcClient(
+                sim, client_ep, client_ep,
+                retransmit_timeout=0.9 if config.loss_rate else None)
+            rpc_server = RpcServer(sim, server_ep, server_ep)
+        elif config.transport == "tcp":
+            up = TcpConnection(
+                sim, client_tx, loss_rate=config.loss_rate,
+                rng=self.streams.stream(f"tcp-up{index}"),
+                name=f"tcp-up{index}")
+            down = TcpConnection(
+                sim, self.server_tx, loss_rate=config.loss_rate,
+                rng=self.streams.stream(f"tcp-down{index}"),
+                name=f"tcp-down{index}")
+            rpc_client = RpcClient(sim, up, down)
+            rpc_server = RpcServer(sim, up, down)
+        else:
+            raise ValueError(f"unknown transport {config.transport!r}")
+        return rpc_client, rpc_server
+
+    def mount_for(self, index: int) -> NfsMount:
+        """The mount a given reader index should use (round-robin)."""
+        return self.mounts[index % len(self.mounts)]
+
+    def flush_caches(self) -> None:
+        super().flush_caches()
+        for mount in self.mounts:
+            mount.flush_cache()
+
+
+def build_local_testbed(config: TestbedConfig) -> LocalTestbed:
+    return LocalTestbed(config)
+
+
+def build_nfs_testbed(config: TestbedConfig) -> NfsTestbed:
+    return NfsTestbed(config)

@@ -1,0 +1,94 @@
+"""The kernel's dispatch layer between the buffer cache and the drive.
+
+With tagged command queueing *off*, the kernel queue (elevator or
+N-CSCAN) is the scheduler: one command is outstanding at the drive and
+the queue picks each successor — this is the regime where the paper's
+bufq experiments (Figure 3) are visible.
+
+With tagged command queueing *on*, the kernel pushes commands to the
+drive as fast as the drive's queue accepts them (up to ``tcq_depth``),
+and the firmware decides order; the kernel queue only buffers overflow.
+That is how enabling tags "overrides many of the scheduling decisions
+made by the host" (§5.3).
+
+A small per-dispatch CPU cost models the driver/interrupt path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..disk.drive import DiskDrive
+from ..disk.request import DiskRequest
+from ..sim import Event, Simulator
+from .bufq import BufQueue, make_bufq
+
+
+class DiskIoScheduler:
+    """Feeds a drive from a switchable kernel queue.
+
+    The ``policy`` property can be reassigned at runtime — mirroring the
+    paper's sysctl-style switch between the elevator and N-CSCAN —
+    as long as the queue is momentarily empty.
+    """
+
+    def __init__(self, sim: Simulator, drive: DiskDrive,
+                 policy: str = "elevator",
+                 dispatch_overhead: float = 0.00005):
+        self.sim = sim
+        self.drive = drive
+        self._bufq: BufQueue = make_bufq(policy)
+        self.dispatch_overhead = dispatch_overhead
+        self._in_flight = 0
+        self.dispatched = 0
+        self._pump_scheduled = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def policy(self) -> str:
+        return self._bufq.name
+
+    def set_policy(self, policy: str) -> None:
+        """Switch scheduling algorithm (queue must be idle)."""
+        if len(self._bufq):
+            raise RuntimeError(
+                "cannot switch disk scheduling policy with requests queued")
+        self._bufq = make_bufq(policy)
+
+    @property
+    def queued(self) -> int:
+        return len(self._bufq)
+
+    # ------------------------------------------------------------------
+
+    def submit(self, request: DiskRequest) -> Event:
+        """Queue a request; returns its completion event."""
+        if request.done is None:
+            request.done = self.sim.event(name=f"io#{request.id}")
+        self._bufq.insert(request)
+        self._pump()
+        return request.done
+
+    def _pump(self) -> None:
+        limit = self.drive.queue_limit
+        while self._in_flight < limit:
+            request = self._bufq.next()
+            if request is None:
+                break
+            self._in_flight += 1
+            self.dispatched += 1
+            request.done.add_callback(self._on_complete)
+            if self.dispatch_overhead > 0:
+                self.sim.spawn(self._dispatch_later(request),
+                               name="iosched.dispatch")
+            else:
+                self.drive.submit(request)
+
+    def _dispatch_later(self, request: DiskRequest):
+        yield self.sim.timeout(self.dispatch_overhead)
+        self.drive.submit(request)
+
+    def _on_complete(self, event: Event) -> None:
+        self._in_flight -= 1
+        self._pump()

@@ -1,0 +1,55 @@
+"""Ethernet framing arithmetic.
+
+The testbed runs standard 1500-byte MTU gigabit Ethernet (§4.1).  An
+8 KiB NFS datagram therefore spans six frames — and under UDP the loss
+of *any one* of them loses the whole datagram (§5.4), which is the
+protocol-level trap the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ETHERNET_MTU = 1500
+#: Ethernet header + FCS + preamble + inter-frame gap, as seen on the wire.
+ETHERNET_FRAME_OVERHEAD = 38
+IP_HEADER = 20
+UDP_HEADER = 8
+TCP_HEADER = 20
+
+
+@dataclass(frozen=True)
+class FramingPlan:
+    """How a payload is carried: frame count and total wire bytes."""
+
+    payload_bytes: int
+    frames: int
+    wire_bytes: int
+
+
+def plan_udp_datagram(payload_bytes: int,
+                      mtu: int = ETHERNET_MTU) -> FramingPlan:
+    """IP-fragment a UDP datagram into Ethernet frames.
+
+    The first fragment carries the UDP header; every fragment carries an
+    IP header and Ethernet overhead.
+    """
+    if payload_bytes < 0:
+        raise ValueError("negative payload")
+    total_l4 = payload_bytes + UDP_HEADER
+    per_fragment = mtu - IP_HEADER
+    frames = max(1, -(-total_l4 // per_fragment))
+    wire = total_l4 + frames * (IP_HEADER + ETHERNET_FRAME_OVERHEAD)
+    return FramingPlan(payload_bytes, frames, wire)
+
+
+def plan_tcp_stream(payload_bytes: int,
+                    mtu: int = ETHERNET_MTU) -> FramingPlan:
+    """Segment a TCP payload into MSS-sized Ethernet frames."""
+    if payload_bytes < 0:
+        raise ValueError("negative payload")
+    mss = mtu - IP_HEADER - TCP_HEADER
+    frames = max(1, -(-payload_bytes // mss))
+    wire = payload_bytes + frames * (
+        IP_HEADER + TCP_HEADER + ETHERNET_FRAME_OVERHEAD)
+    return FramingPlan(payload_bytes, frames, wire)

@@ -1,0 +1,128 @@
+"""SUN RPC over either transport.
+
+NFS v2/v3 are RPC programs; the mount's transport choice (§5.4 — UDP by
+default under ``mount_nfs``, TCP by default under many ``amd`` builds)
+decides which transport carries the calls.  The RPC layer itself is
+thin: transaction-id matching, optional retransmission for datagram
+transports, and fixed header costs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Protocol
+
+from ..sim import Event, Simulator
+
+#: Approximate bytes of RPC + NFS call/reply headers on the wire.
+RPC_CALL_HEADER = 136
+RPC_REPLY_HEADER = 104
+
+
+class Transport(Protocol):
+    """What RPC needs from UDP endpoints and TCP connections alike."""
+
+    def send(self, message: Any, payload_bytes: int) -> None: ...
+
+    def bind(self, receiver: Callable[[Any], None]) -> None: ...
+
+
+@dataclass
+class RpcMessage:
+    xid: int
+    body: Any
+    payload_bytes: int
+    is_reply: bool = False
+
+
+class RpcClient:
+    """Issues calls and matches replies by transaction id.
+
+    ``retransmit_timeout`` enables datagram-style retransmission: a call
+    unanswered after the timeout is sent again (with the same xid, as
+    real NFS clients do — the duplicate-request cache on real servers is
+    out of scope since our benchmarks never trigger it on a lossless
+    LAN, but retransmission keeps lossy configurations live).
+    """
+
+    def __init__(self, sim: Simulator, out_transport: Transport,
+                 in_transport: Transport,
+                 retransmit_timeout: Optional[float] = None,
+                 max_retransmits: int = 10,
+                 name: str = "rpc-client"):
+        self.sim = sim
+        self.out = out_transport
+        self.retransmit_timeout = retransmit_timeout
+        self.max_retransmits = max_retransmits
+        self.name = name
+        self._xids = itertools.count(1)
+        self._pending: Dict[int, Event] = {}
+        self.calls = 0
+        self.retransmitted = 0
+        in_transport.bind(self._on_reply)
+
+    def call(self, body: Any, payload_bytes: int) -> Event:
+        """Send a call; the returned event fires with the reply body."""
+        xid = next(self._xids)
+        reply = self.sim.event(name=f"{self.name}.xid{xid}")
+        self._pending[xid] = reply
+        self.calls += 1
+        message = RpcMessage(xid, body, payload_bytes + RPC_CALL_HEADER)
+        self.out.send(message, message.payload_bytes)
+        if self.retransmit_timeout is not None:
+            self.sim.spawn(self._watchdog(message, reply),
+                           name=f"{self.name}.retry{xid}")
+        return reply
+
+    def _watchdog(self, message: RpcMessage, reply: Event):
+        for _attempt in range(self.max_retransmits):
+            yield self.sim.timeout(self.retransmit_timeout)
+            if reply.triggered:
+                return None
+            self.retransmitted += 1
+            self.out.send(message, message.payload_bytes)
+        return None
+
+    def _on_reply(self, message: RpcMessage) -> None:
+        pending = self._pending.pop(message.xid, None)
+        if pending is not None and not pending.triggered:
+            pending.succeed(message.body)
+        # Late duplicate replies (post-retransmit) are dropped, as real
+        # RPC clients drop replies with unknown xids.
+
+
+class RpcServer:
+    """Dispatches incoming calls to an asynchronous handler.
+
+    The handler is a generator function ``handler(body)`` returning
+    ``(reply_body, reply_payload_bytes)``; each call runs as its own
+    simulation process, so the server's own concurrency limits (the
+    nfsd pool) live in the handler.
+    """
+
+    def __init__(self, sim: Simulator, in_transport: Transport,
+                 out_transport: Transport, name: str = "rpc-server"):
+        self.sim = sim
+        self.out = out_transport
+        self.name = name
+        self.handler = None
+        self.requests = 0
+        in_transport.bind(self._on_request)
+
+    def serve(self, handler) -> None:
+        self.handler = handler
+
+    def _on_request(self, message: RpcMessage) -> None:
+        if self.handler is None:
+            raise RuntimeError(f"{self.name}: no handler registered")
+        self.requests += 1
+        self.sim.spawn(self._handle(message),
+                       name=f"{self.name}.req{message.xid}")
+
+    def _handle(self, message: RpcMessage):
+        body, payload_bytes = yield from self.handler(message.body)
+        reply = RpcMessage(message.xid, body,
+                           payload_bytes + RPC_REPLY_HEADER, is_reply=True)
+        self.out.send(reply, reply.payload_bytes)
+        return None

@@ -1,0 +1,78 @@
+"""UDP transport: connectionless datagrams over a link.
+
+UDP's two properties that matter to the paper (§5.4):
+
+* it is cheap — no connection state, no stream reassembly — which is why
+  NFS over UDP beats TCP at low concurrency; and
+* a datagram is all-or-nothing: it is IP-fragmented into several
+  Ethernet frames and the loss of any one frame loses the datagram.
+  On the paper's single-switch LAN the loss rate is effectively zero,
+  but the transport models it so lossy-network experiments are possible.
+
+Delivery order follows completion order on the link — UDP itself adds
+no reordering on a single switched path, and none of the paper's
+reordering comes from the network (§6: "in our system the reorderings
+are attributable to nfsiod").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from ..sim import Simulator
+from .frames import plan_udp_datagram
+from .link import Link
+
+
+class UdpEndpoint:
+    """One side of a UDP flow: a transmit link plus a receive handler."""
+
+    #: Per-datagram protocol processing cost on the sending host.
+    SEND_OVERHEAD = 0.00001
+
+    def __init__(self, sim: Simulator, tx_link: Link,
+                 loss_rate: float = 0.0,
+                 rng: Optional[random.Random] = None,
+                 name: str = "udp"):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self.sim = sim
+        self.tx_link = tx_link
+        self.loss_rate = loss_rate
+        self.name = name
+        self._rng = rng or random.Random(0x0D9)
+        self._receiver: Optional[Callable[[Any], None]] = None
+        self.datagrams_sent = 0
+        self.datagrams_lost = 0
+
+    def bind(self, receiver: Callable[[Any], None]) -> None:
+        """Set the function invoked (at delivery time) per datagram."""
+        self._receiver = receiver
+
+    def connect(self, peer: "UdpEndpoint") -> None:
+        """Convenience: deliver our sends to ``peer``'s receiver."""
+        self._peer = peer
+
+    def send(self, message: Any, payload_bytes: int) -> None:
+        """Fire-and-forget: fragment, maybe drop, deliver to the peer."""
+        if self._peer is None:
+            raise RuntimeError(f"{self.name}: not connected")
+        plan = plan_udp_datagram(payload_bytes)
+        self.datagrams_sent += 1
+        if self.loss_rate > 0.0:
+            survive = (1.0 - self.loss_rate) ** plan.frames
+            if self._rng.random() > survive:
+                self.datagrams_lost += 1
+                self.tx_link.send(plan.wire_bytes)  # still burns the wire
+                return
+        delivery = self.tx_link.send(plan.wire_bytes)
+        delivery.add_callback(
+            lambda _ev, m=message: self._peer._deliver(m))
+
+    _peer: Optional["UdpEndpoint"] = None
+
+    def _deliver(self, message: Any) -> None:
+        if self._receiver is None:
+            raise RuntimeError(f"{self.name}: no receiver bound")
+        self._receiver(message)

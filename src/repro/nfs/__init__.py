@@ -1,0 +1,38 @@
+"""NFS v2/v3 client and server models, including the nfsheur table."""
+
+from .client import (NfsFile, NfsMount, NfsMountConfig, NfsMountStats)
+from .fhandle import FileHandle
+from .nfsheur import (DEFAULT_NFSHEUR, IMPROVED_NFSHEUR, NfsHeurParams,
+                      NfsHeurStats, NfsHeurTable)
+from .protocol import (CommitReply, CommitRequest, GetattrReply,
+                       GetattrRequest, LookupReply, LookupRequest,
+                       NFS_READ_SIZE, ReadReply, ReadRequest,
+                       WriteReply, WriteRequest)
+from .server import NfsServer, NfsServerConfig, NfsServerStats
+
+__all__ = [
+    "FileHandle",
+    "NfsHeurTable",
+    "NfsHeurParams",
+    "NfsHeurStats",
+    "DEFAULT_NFSHEUR",
+    "IMPROVED_NFSHEUR",
+    "NfsServer",
+    "NfsServerConfig",
+    "NfsServerStats",
+    "NfsMount",
+    "NfsMountConfig",
+    "NfsMountStats",
+    "NfsFile",
+    "ReadRequest",
+    "ReadReply",
+    "WriteRequest",
+    "WriteReply",
+    "CommitRequest",
+    "CommitReply",
+    "LookupRequest",
+    "LookupReply",
+    "GetattrRequest",
+    "GetattrReply",
+    "NFS_READ_SIZE",
+]

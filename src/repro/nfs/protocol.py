@@ -1,0 +1,137 @@
+"""NFS v3 message bodies (the READ-path subset).
+
+The benchmarks are pure-read (§4.2), so READ plus the handshake ops the
+client path needs (LOOKUP, GETATTR) are modelled; write and metadata
+mutation traffic is the paper's own future work (§8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fhandle import FileHandle
+
+#: The transfer size used throughout the paper ("8k NFS blocks", §6.2).
+NFS_READ_SIZE = 8 * 1024
+
+#: Approximate encoded sizes of the argument structures.
+READ_ARGS_BYTES = 32
+LOOKUP_ARGS_BYTES = 64
+GETATTR_ARGS_BYTES = 8
+ATTR_REPLY_BYTES = 84
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    fh: FileHandle
+    offset: int
+    count: int
+    #: Client-side issue sequence within this file (0-based).  Not part
+    #: of the real protocol; carried for the reordering instrumentation
+    #: the paper's kernel patches provided (§6).
+    seq: int = 0
+
+    def __post_init__(self):
+        if self.offset < 0 or self.count <= 0:
+            raise ValueError("bad READ range")
+
+    @property
+    def payload_bytes(self) -> int:
+        return READ_ARGS_BYTES
+
+
+@dataclass(frozen=True)
+class ReadReply:
+    fh: FileHandle
+    offset: int
+    count: int          # bytes actually read (clamped at EOF)
+    eof: bool
+
+    @property
+    def payload_bytes(self) -> int:
+        return ATTR_REPLY_BYTES + self.count
+
+
+@dataclass(frozen=True)
+class WriteRequest:
+    fh: FileHandle
+    offset: int
+    count: int
+    #: NFSv3 stability: False = UNSTABLE (server may reply from cache).
+    stable: bool = False
+    seq: int = 0
+
+    def __post_init__(self):
+        if self.offset < 0 or self.count <= 0:
+            raise ValueError("bad WRITE range")
+
+    @property
+    def payload_bytes(self) -> int:
+        return READ_ARGS_BYTES + self.count
+
+
+@dataclass(frozen=True)
+class WriteReply:
+    fh: FileHandle
+    offset: int
+    count: int
+
+    @property
+    def payload_bytes(self) -> int:
+        return ATTR_REPLY_BYTES
+
+
+@dataclass(frozen=True)
+class CommitRequest:
+    fh: FileHandle
+
+    @property
+    def payload_bytes(self) -> int:
+        return GETATTR_ARGS_BYTES
+
+
+@dataclass(frozen=True)
+class CommitReply:
+    fh: FileHandle
+
+    @property
+    def payload_bytes(self) -> int:
+        return ATTR_REPLY_BYTES
+
+
+@dataclass(frozen=True)
+class LookupRequest:
+    name: str
+
+    @property
+    def payload_bytes(self) -> int:
+        return LOOKUP_ARGS_BYTES
+
+
+@dataclass(frozen=True)
+class LookupReply:
+    fh: FileHandle
+    size: int
+
+    @property
+    def payload_bytes(self) -> int:
+        return ATTR_REPLY_BYTES
+
+
+@dataclass(frozen=True)
+class GetattrRequest:
+    fh: FileHandle
+
+    @property
+    def payload_bytes(self) -> int:
+        return GETATTR_ARGS_BYTES
+
+
+@dataclass(frozen=True)
+class GetattrReply:
+    fh: FileHandle
+    size: int
+
+    @property
+    def payload_bytes(self) -> int:
+        return ATTR_REPLY_BYTES

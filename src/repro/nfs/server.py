@@ -1,0 +1,194 @@
+"""The NFS server: an nfsd pool over the FFS read path.
+
+The request pipeline mirrors FreeBSD's ``nfsrv_read``:
+
+1. an RPC arrives and waits for one of the ``nfsd`` daemons (the paper
+   runs eight, §4.1);
+2. the daemon decodes the call (CPU), looks the file handle up in the
+   **nfsheur** table, and feeds the access to the configured
+   sequentiality heuristic to obtain a seqCount;
+3. the FFS read path fetches the data, performing read-ahead according
+   to that seqCount;
+4. the daemon builds the reply (CPU proportional to the data copied)
+   and hands it to the transport.
+
+Swapping the heuristic or the nfsheur parameters — the paper's §6 and §7
+experiments — changes *nothing else* in this pipeline, just as the
+authors exploited in the real server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..ffs import FileSystem, Inode
+from ..host.machine import Machine
+from ..net.rpc import RpcServer
+from ..readahead import DefaultHeuristic, Heuristic
+from ..sim import Resource, Simulator
+from .fhandle import FileHandle
+from .nfsheur import DEFAULT_NFSHEUR, NfsHeurParams, NfsHeurTable
+from .protocol import (CommitReply, CommitRequest, GetattrReply,
+                       GetattrRequest, LookupReply, LookupRequest,
+                       ReadReply, ReadRequest, WriteReply, WriteRequest)
+
+
+@dataclass
+class NfsServerConfig:
+    """Server tunables; defaults match the paper's testbed (§4.1)."""
+
+    nfsd_count: int = 8
+    nfsheur_params: NfsHeurParams = field(
+        default_factory=lambda: DEFAULT_NFSHEUR)
+    #: Fixed CPU cost per call: decode, fh translation, reply build.
+    cpu_per_call: float = 0.00008
+    #: CPU cost per byte of reply data (buffer copies, checksums).
+    cpu_per_byte: float = 5.0e-9
+    #: Record every READ arrival as a TraceRecord (instrumentation for
+    #: the reordering measurements of §6; off by default).
+    record_trace: bool = False
+
+
+@dataclass
+class NfsServerStats:
+    reads: int = 0
+    writes: int = 0
+    commits: int = 0
+    bytes_served: int = 0
+    bytes_written: int = 0
+    lookups: int = 0
+    getattrs: int = 0
+    seqcount_total: int = 0
+
+    @property
+    def mean_seqcount(self) -> float:
+        return self.seqcount_total / self.reads if self.reads else 0.0
+
+
+class NfsServer:
+    """Serves READ/LOOKUP/GETATTR for one exported file system."""
+
+    def __init__(self, sim: Simulator, machine: Machine, fs: FileSystem,
+                 rpc: RpcServer,
+                 heuristic: Optional[Heuristic] = None,
+                 config: Optional[NfsServerConfig] = None):
+        self.sim = sim
+        self.machine = machine
+        self.fs = fs
+        self.config = config or NfsServerConfig()
+        self.heuristic: Heuristic = heuristic or DefaultHeuristic()
+        import inspect
+        self._observe_takes_fh = "fh" in inspect.signature(
+            self.heuristic.observe).parameters
+        self.nfsheur = NfsHeurTable(self.config.nfsheur_params)
+        self.nfsds = Resource(sim, capacity=self.config.nfsd_count)
+        self.stats = NfsServerStats()
+        #: Arrival trace (populated when config.record_trace is set).
+        self.trace = []
+        self._by_fh: Dict[FileHandle, Inode] = {}
+        self._by_name: Dict[str, FileHandle] = {}
+        rpc.serve(self.handle)
+        for name in fs.files:
+            self._export(fs.files[name])
+
+    # ------------------------------------------------------------------
+
+    def _export(self, inode: Inode) -> FileHandle:
+        fh = FileHandle(id=inode.number)
+        self._by_fh[fh] = inode
+        self._by_name[inode.name] = fh
+        return fh
+
+    def export_file(self, name: str, size: int) -> FileHandle:
+        """Create a file in the underlying FS and export it."""
+        return self._export(self.fs.create_file(name, size))
+
+    def fh_of(self, name: str) -> FileHandle:
+        return self._by_name[name]
+
+    # ------------------------------------------------------------------
+
+    def handle(self, request):
+        """RPC dispatch (generator; returns (reply, payload_bytes))."""
+        yield self.nfsds.acquire()
+        try:
+            if isinstance(request, ReadRequest):
+                reply = yield from self._read(request)
+            elif isinstance(request, WriteRequest):
+                reply = yield from self._write(request)
+            elif isinstance(request, CommitRequest):
+                reply = yield from self._commit(request)
+            elif isinstance(request, LookupRequest):
+                reply = yield from self._lookup(request)
+            elif isinstance(request, GetattrRequest):
+                reply = yield from self._getattr(request)
+            else:
+                raise TypeError(f"unsupported NFS request {request!r}")
+        finally:
+            self.nfsds.release()
+        return reply, reply.payload_bytes
+
+    def _read(self, request: ReadRequest):
+        config = self.config
+        if config.record_trace:
+            from ..trace import TraceRecord
+            self.trace.append(TraceRecord(
+                time=self.sim.now, fh=request.fh, offset=request.offset,
+                count=request.count, client_seq=request.seq))
+        yield from self.machine.execute(config.cpu_per_call / 2)
+        inode = self._by_fh[request.fh]
+        state = self.nfsheur.lookup(request.fh, request.offset)
+        if self._observe_takes_fh:
+            seq_count = self.heuristic.observe(
+                state, request.offset, request.count, self.sim.now,
+                fh=request.fh)
+        else:
+            seq_count = self.heuristic.observe(
+                state, request.offset, request.count, self.sim.now)
+        self.stats.seqcount_total += seq_count
+        got = yield from self.fs.read_with_seqcount(
+            inode, request.offset, request.count, seq_count,
+            stream=request.fh)
+        yield from self.machine.execute(
+            config.cpu_per_call / 2 + got * config.cpu_per_byte)
+        self.stats.reads += 1
+        self.stats.bytes_served += got
+        eof = request.offset + got >= inode.size
+        return ReadReply(fh=request.fh, offset=request.offset,
+                         count=got, eof=eof)
+
+    def _write(self, request: WriteRequest):
+        """NFSv3 WRITE: data lands in the buffer cache (UNSTABLE) or is
+        forced to the platter before replying (stable)."""
+        config = self.config
+        yield from self.machine.execute(
+            config.cpu_per_call + request.count * config.cpu_per_byte)
+        inode = self._by_fh[request.fh]
+        got = yield from self.fs.write(inode, request.offset,
+                                       request.count, stream=request.fh)
+        if request.stable:
+            yield self.fs.cache.sync()
+        self.stats.writes += 1
+        self.stats.bytes_written += got
+        return WriteReply(fh=request.fh, offset=request.offset,
+                          count=got)
+
+    def _commit(self, request: CommitRequest):
+        """NFSv3 COMMIT: flush unstable writes to stable storage."""
+        yield from self.machine.execute(self.config.cpu_per_call)
+        yield self.fs.cache.sync()
+        self.stats.commits += 1
+        return CommitReply(fh=request.fh)
+
+    def _lookup(self, request: LookupRequest):
+        yield from self.machine.execute(self.config.cpu_per_call)
+        fh = self._by_name[request.name]
+        self.stats.lookups += 1
+        return LookupReply(fh=fh, size=self._by_fh[fh].size)
+
+    def _getattr(self, request: GetattrRequest):
+        yield from self.machine.execute(self.config.cpu_per_call)
+        self.stats.getattrs += 1
+        return GetattrReply(fh=request.fh,
+                            size=self._by_fh[request.fh].size)

@@ -1,0 +1,45 @@
+"""The SlowDown sequentiality heuristic (§6.2).
+
+SlowDown lets the sequentiality index *rise* exactly as the default
+heuristic does, but *fall* more slowly — "nearly identical in concept to
+the additive-increase/multiplicative-decrease used by TCP/IP":
+
+* exact match of the expected offset: increment;
+* within 64 KiB (eight 8 KiB NFS blocks) of the expected offset: leave
+  the count alone — this could be jitter rather than randomness;
+* farther away: halve the count.  A genuinely random pattern halves its
+  way to zero within a few accesses, so read-ahead is not wasted.
+"""
+
+from __future__ import annotations
+
+from .base import (MAX_SEQCOUNT, ReadState, SLOWDOWN_WINDOW,
+                   clamp_seqcount)
+
+
+class SlowDownHeuristic:
+    """Rise fast, fall slow; tolerant of small request reorderings."""
+
+    name = "slowdown"
+
+    def __init__(self, window: int = SLOWDOWN_WINDOW, divisor: int = 2):
+        if window < 0:
+            raise ValueError("window cannot be negative")
+        if divisor < 2:
+            raise ValueError("divisor must be at least 2")
+        self.window = window
+        self.divisor = divisor
+
+    def observe(self, state: ReadState, offset: int, nbytes: int,
+                now: float = 0.0) -> int:
+        if nbytes <= 0:
+            raise ValueError("access must cover at least one byte")
+        if offset == state.next_offset:
+            state.seq_count = clamp_seqcount(state.seq_count + 1)
+        elif abs(offset - state.next_offset) <= self.window:
+            pass  # jitter, not randomness: leave seqCount unchanged
+        else:
+            state.seq_count = clamp_seqcount(
+                state.seq_count // self.divisor)
+        state.next_offset = offset + nbytes
+        return state.seq_count

@@ -1,0 +1,117 @@
+"""The simulation core: clock, event loop, and process spawning.
+
+The design follows the classic process-interaction style (as popularised
+by SimPy): simulated activities are Python generators that ``yield``
+events; the kernel resumes each generator when the event it waited on
+fires.  The kernel is deliberately small — everything domain-specific
+(disks, schedulers, NFS daemons) is layered on top.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from .errors import SchedulingError, SimulationError
+from .events import AllOf, AnyOf, Event, EventQueue, Timeout
+from .process import Process
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(1.5)
+            return "done"
+
+        proc = sim.spawn(worker(sim))
+        sim.run()
+        assert sim.now == 1.5 and proc.value == "done"
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue = EventQueue()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Event construction helpers
+    # ------------------------------------------------------------------
+
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create a pending one-shot event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def spawn(self, generator, name: Optional[str] = None) -> Process:
+        """Start a new process from a generator; returns its Process."""
+        return Process(self, generator, name=name)
+
+    # ------------------------------------------------------------------
+    # Scheduling and the main loop
+    # ------------------------------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule {event!r} in the past")
+        self._queue.push(self.now + delay, event)
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        when, event = self._queue.pop()
+        if when < self.now:
+            raise SimulationError("event queue went backwards in time")
+        self.now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        Returns the final simulation time.  ``until`` is an absolute
+        simulated timestamp, not a delta.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            while len(self._queue):
+                if until is not None and self._queue.peek_time() > until:
+                    self.now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def run_until_complete(self, process: Process,
+                           limit: Optional[float] = None) -> Any:
+        """Run until ``process`` finishes; return its value.
+
+        ``limit`` guards against runaway simulations: exceeding it raises
+        :class:`SimulationError`.
+        """
+        while not process.finished:
+            if not len(self._queue):
+                raise SimulationError(
+                    f"deadlock: {process!r} cannot finish, queue empty")
+            if limit is not None and self._queue.peek_time() > limit:
+                raise SimulationError(
+                    f"simulation exceeded time limit {limit}")
+            self.step()
+        if process.error is not None:
+            raise process.error
+        return process.value

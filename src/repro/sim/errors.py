@@ -1,0 +1,25 @@
+"""Exception types for the discrete-event simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled illegally (e.g. in the past)."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process misbehaved (bad yield, double start, ...)."""
+
+
+class Interrupt(SimulationError):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries whatever object the interrupter
+    supplied; processes may catch :class:`Interrupt` to clean up.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause

@@ -1,0 +1,172 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot occurrence that processes can wait on.
+Events move through three states: *pending* (created, not yet fired),
+*triggered* (scheduled to fire at a known simulation time), and
+*processed* (callbacks have run).  Waiting on an already-processed event
+resumes the waiter immediately on the next scheduler step, so there is no
+lost-wakeup race.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+PENDING = "pending"
+TRIGGERED = "triggered"
+PROCESSED = "processed"
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.core.Simulator`.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("sim", "name", "state", "value", "callbacks")
+
+    def __init__(self, sim, name: Optional[str] = None):
+        self.sim = sim
+        self.name = name
+        self.state = PENDING
+        self.value: Any = None
+        #: callables invoked as ``cb(event)`` when the event is processed.
+        self.callbacks: List[Callable[["Event"], None]] = []
+
+    def __repr__(self) -> str:
+        label = self.name or self.__class__.__name__
+        return f"<Event {label} {self.state}>"
+
+    @property
+    def triggered(self) -> bool:
+        return self.state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.state == PROCESSED
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire ``delay`` seconds from now.
+
+        Returns the event itself so calls can be chained.  Firing an
+        already-triggered event raises ``RuntimeError``: events are
+        strictly one-shot.
+        """
+        if self.state != PENDING:
+            raise RuntimeError(f"{self!r} already triggered")
+        self.state = TRIGGERED
+        self.value = value
+        self.sim._schedule_event(self, delay)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event has already been processed, the callback runs
+        immediately (synchronously): late subscribers never hang.
+        """
+        if self.state == PROCESSED:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        self.state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires a fixed delay after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        self.state = TRIGGERED
+        self.value = value
+        sim._schedule_event(self, delay)
+
+
+class AnyOf(Event):
+    """Fires as soon as any of the given events has been processed.
+
+    The value is the first event that fired.  If several fire at the same
+    instant, scheduler order (FIFO among equal timestamps) decides.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim, events):
+        super().__init__(sim, name="any_of")
+        events = list(events)
+        if not events:
+            raise ValueError("AnyOf needs at least one event")
+        for event in events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.state == PENDING:
+            self.succeed(event)
+
+
+class AllOf(Event):
+    """Fires once every one of the given events has been processed.
+
+    The value is the list of child events, in the order supplied.
+    """
+
+    __slots__ = ("_remaining", "_children")
+
+    def __init__(self, sim, events):
+        super().__init__(sim, name="all_of")
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self._children:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0 and self.state == PENDING:
+            self.succeed(list(self._children))
+
+
+class EventQueue:
+    """A time-ordered queue of triggered events.
+
+    Ties on timestamp are broken FIFO via a monotonically increasing
+    sequence number, which keeps the simulation deterministic.
+    """
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, when: float, event: Event) -> None:
+        heapq.heappush(self._heap, (when, next(self._counter), event))
+
+    def pop(self) -> Tuple[float, Event]:
+        when, _seq, event = heapq.heappop(self._heap)
+        return when, event
+
+    def peek_time(self) -> float:
+        return self._heap[0][0]

@@ -1,0 +1,92 @@
+"""Generator-based simulated processes.
+
+A process is a Python generator that yields :class:`~repro.sim.events.Event`
+objects (or other :class:`Process` instances, which are themselves events
+— waiting on a process waits for its completion).  ``return value`` inside
+the generator sets the process's result.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .errors import Interrupt, ProcessError
+from .events import Event
+
+
+class Process(Event):
+    """A running simulated activity.
+
+    A ``Process`` *is an* :class:`Event`: it fires when the generator
+    finishes, with the generator's return value as the event value.  This
+    lets processes wait on each other with a plain ``yield child``.
+    """
+
+    __slots__ = ("generator", "error", "_waiting_on")
+
+    def __init__(self, sim, generator, name: Optional[str] = None):
+        if not hasattr(generator, "send"):
+            raise ProcessError(
+                f"Process needs a generator, got {type(generator).__name__} "
+                "(did you forget to call the generator function?)")
+        super().__init__(sim, name=name or getattr(
+            generator, "__name__", "process"))
+        self.generator = generator
+        self.error: Optional[BaseException] = None
+        self._waiting_on: Optional[Event] = None
+        # Kick off on the next scheduler step at the current time.
+        bootstrap = Event(sim, name=f"start:{self.name}")
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if self.finished:
+            raise ProcessError(f"cannot interrupt finished {self!r}")
+        target = self._waiting_on
+        if target is not None and not target.processed:
+            # Detach from whatever we were waiting on.
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self._step(Interrupt(cause), throw=True)
+
+    # ------------------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self._step(event.value)
+
+    def _step(self, value: Any, throw: bool = False) -> None:
+        try:
+            if throw:
+                yielded = self.generator.throw(value)
+            else:
+                yielded = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except Interrupt as exc:
+            # An uncaught interrupt terminates the process with an error.
+            self.error = exc
+            self.succeed(None)
+            return
+        except Exception as exc:  # propagate at run_until_complete()
+            self.error = exc
+            self.succeed(None)
+            return
+        if not isinstance(yielded, Event):
+            self.error = ProcessError(
+                f"{self!r} yielded {yielded!r}; processes must yield Events")
+            self.succeed(None)
+            return
+        self._waiting_on = yielded
+        yielded.add_callback(self._resume)

@@ -1,0 +1,8 @@
+"""Statistics helpers: summaries, series, and terminal plotting."""
+
+from .plot import render_plot
+from .series import Series, SeriesSet
+from .summary import RunningSummary, Summary, summarize
+
+__all__ = ["Summary", "RunningSummary", "summarize", "Series",
+           "SeriesSet", "render_plot"]

@@ -1,0 +1,92 @@
+"""Terminal plotting for figure-style series.
+
+Renders a :class:`~repro.stats.series.SeriesSet` as an ASCII scatter
+chart — enough to *see* the paper's shapes (the staircase, the
+single-reader spike, the crossover) straight from the CLI, with no
+plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .series import SeriesSet
+
+#: Marker characters assigned to series in order.
+MARKERS = "ox+*#@%&"
+
+
+def render_plot(figure: SeriesSet, width: int = 64, height: int = 20,
+                y_min: float = 0.0,
+                y_max: Optional[float] = None) -> str:
+    """Plot the figure as an ASCII chart.
+
+    X positions are evenly spaced by *rank* (the paper's reader-count
+    axes are log-spaced: 1, 2, 4, ... 32), Y is linear from ``y_min``
+    to ``y_max`` (default: 5 % above the tallest point).  Overlapping
+    points are drawn with the later series' marker.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("plot area too small")
+    xs: List[float] = []
+    for series in figure.series:
+        for x in series.xs:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    if not xs:
+        raise ValueError("nothing to plot")
+
+    if y_max is None:
+        tallest = max(summary.mean for series in figure.series
+                      for _x, summary in series.points)
+        y_max = tallest * 1.05 if tallest > 0 else 1.0
+    if y_max <= y_min:
+        raise ValueError("empty y range")
+
+    grid = [[" "] * width for _row in range(height)]
+    x_of = {x: (int(rank * (width - 1) / max(1, len(xs) - 1))
+                if len(xs) > 1 else width // 2)
+            for rank, x in enumerate(xs)}
+
+    def row_of(value: float) -> int:
+        fraction = (value - y_min) / (y_max - y_min)
+        fraction = min(1.0, max(0.0, fraction))
+        return (height - 1) - int(round(fraction * (height - 1)))
+
+    for index, series in enumerate(figure.series):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, summary in series.points:
+            grid[row_of(summary.mean)][x_of[x]] = marker
+
+    gutter = 8
+    lines = [figure.title]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:7.1f} "
+        elif row_index == height - 1:
+            label = f"{y_min:7.1f} "
+        else:
+            label = " " * gutter
+        lines.append(label + "|" + "".join(row))
+    axis = " " * gutter + "+" + "-" * width
+    lines.append(axis)
+
+    tick_row = [" "] * (width + gutter + 1)
+    for x in xs:
+        text = figure._fmt_x(x)
+        start = gutter + 1 + x_of[x]
+        start = min(start, len(tick_row) - len(text))  # keep on-screen
+        for offset, char in enumerate(text):
+            position = start + offset
+            if position < len(tick_row):
+                tick_row[position] = char
+    lines.append("".join(tick_row))
+    lines.append(" " * gutter + figure.xlabel)
+
+    legend = "   ".join(
+        f"{MARKERS[index % len(MARKERS)]} {series.label}"
+        for index, series in enumerate(figure.series))
+    lines.append("")
+    lines.append(" " * gutter + legend)
+    return "\n".join(lines)

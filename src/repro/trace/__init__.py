@@ -1,0 +1,19 @@
+"""Synthetic NFS traces and the reordering/sequentiality metrics."""
+
+from .generate import random_trace, sequential_trace, stride_trace
+from .metrics import (group_by_handle, mean_seqcount,
+                      offset_backjump_fraction, reorder_fraction,
+                      sequentiality_profile)
+from .records import TraceRecord
+
+__all__ = [
+    "TraceRecord",
+    "sequential_trace",
+    "stride_trace",
+    "random_trace",
+    "reorder_fraction",
+    "offset_backjump_fraction",
+    "sequentiality_profile",
+    "mean_seqcount",
+    "group_by_handle",
+]

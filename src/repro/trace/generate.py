@@ -1,0 +1,90 @@
+"""Synthetic NFS request traces.
+
+Generates the request streams the paper reasons about: sequential
+streams with a tunable reordering probability (the nfsiod effect) and
+stride streams, so the heuristics can be studied in isolation from the
+full simulator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .records import TraceRecord
+
+BLOCK = 8 * 1024
+
+
+def sequential_trace(fh: object, nblocks: int,
+                     reorder_probability: float = 0.0,
+                     max_displacement: int = 3,
+                     block_size: int = BLOCK,
+                     inter_arrival: float = 0.0005,
+                     rng: Optional[random.Random] = None
+                     ) -> List[TraceRecord]:
+    """A sequential read stream with nfsiod-style local reordering.
+
+    Reordering is modelled as bounded displacement: with probability
+    ``reorder_probability`` a request swaps forward past up to
+    ``max_displacement`` successors — small perturbations, exactly the
+    kind SlowDown is designed to absorb (§6.2).
+    """
+    if not 0.0 <= reorder_probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    if max_displacement < 1:
+        raise ValueError("displacement must be at least 1")
+    rng = rng or random.Random(0x7ACE)
+    order = list(range(nblocks))
+    index = 0
+    while index < nblocks - 1:
+        if rng.random() < reorder_probability:
+            jump = rng.randint(1, max_displacement)
+            target = min(index + jump, nblocks - 1)
+            order[index], order[target] = order[target], order[index]
+            index = target + 1
+        else:
+            index += 1
+    return [
+        TraceRecord(time=position * inter_arrival, fh=fh,
+                    offset=block * block_size, count=block_size,
+                    client_seq=block)
+        for position, block in enumerate(order)
+    ]
+
+
+def stride_trace(fh: object, nblocks: int, strides: int,
+                 block_size: int = BLOCK,
+                 inter_arrival: float = 0.0005) -> List[TraceRecord]:
+    """A §7 stride stream: arms visited round-robin, in issue order."""
+    if strides < 1:
+        raise ValueError("need at least one stride arm")
+    arm_blocks = nblocks // strides
+    records = []
+    seq = 0
+    for round_index in range(arm_blocks):
+        for arm in range(strides):
+            block = arm * arm_blocks + round_index
+            records.append(TraceRecord(
+                time=seq * inter_arrival, fh=fh,
+                offset=block * block_size, count=block_size,
+                client_seq=seq))
+            seq += 1
+    return records
+
+
+def random_trace(fh: object, nblocks: int,
+                 accesses: Optional[int] = None,
+                 block_size: int = BLOCK,
+                 inter_arrival: float = 0.0005,
+                 rng: Optional[random.Random] = None
+                 ) -> List[TraceRecord]:
+    """A uniformly random access stream (the read-ahead pessimum)."""
+    rng = rng or random.Random(0x7A2D)
+    accesses = accesses or nblocks
+    return [
+        TraceRecord(time=seq * inter_arrival, fh=fh,
+                    offset=rng.randrange(nblocks) * block_size,
+                    count=block_size, client_seq=seq)
+        for seq in range(accesses)
+    ]

@@ -1,0 +1,81 @@
+"""Tests for the CLI and the ASCII plotter."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.stats import Series, SeriesSet, render_plot, summarize
+
+
+def make_figure():
+    figure = SeriesSet("Test figure", xlabel="readers")
+    a = figure.new_series("alpha")
+    for x, value in ((1, 10.0), (2, 20.0), (4, 15.0)):
+        a.add(x, summarize([value]))
+    b = figure.new_series("beta")
+    for x, value in ((1, 5.0), (2, 5.0), (4, 5.0)):
+        b.add(x, summarize([value]))
+    return figure
+
+
+class TestPlot:
+    def test_contains_title_axis_and_legend(self):
+        text = render_plot(make_figure())
+        assert "Test figure" in text
+        assert "readers" in text
+        assert "o alpha" in text
+        assert "x beta" in text
+
+    def test_markers_plotted(self):
+        text = render_plot(make_figure())
+        assert text.count("o") >= 3 + 1   # points + legend
+        assert text.count("x") >= 3 + 1
+
+    def test_x_ticks_present(self):
+        text = render_plot(make_figure())
+        assert " 1" in text and "4" in text
+
+    def test_y_scale_labels(self):
+        text = render_plot(make_figure())
+        assert "21.0" in text     # 20 * 1.05
+        assert "0.0" in text
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ValueError):
+            render_plot(make_figure(), width=4, height=2)
+
+    def test_empty_figure_rejected(self):
+        with pytest.raises(ValueError):
+            render_plot(SeriesSet("empty"))
+
+    def test_custom_y_range(self):
+        text = render_plot(make_figure(), y_max=100.0)
+        assert "100.0" in text
+        with pytest.raises(ValueError):
+            render_plot(make_figure(), y_min=10.0, y_max=5.0)
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.experiment == "fig1"
+        assert args.scale == 0.125
+        assert args.runs == 3
+        assert not args.plot
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "table1" in out and "xlossy" in out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_small_experiment(self, capsys):
+        code = main(["fig8", "--runs", "1", "--scale", "0.03125",
+                     "--no-std", "--plot"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stride" in out.lower()
+        assert "paper claim" in out
+        assert "|" in out            # the plot was drawn

@@ -1,0 +1,173 @@
+"""Unit tests for the disk drive: service times, TCQ, instrumentation."""
+
+import pytest
+
+from repro.disk import (AgedSptfFirmware, DiskRequest, FifoFirmware,
+                        IBM_DDYS_T36950N, WDC_WD200BB)
+from repro.sim import Simulator
+
+
+def build_ide(sim):
+    return WDC_WD200BB.build(sim)
+
+
+def build_scsi(sim, tags=True):
+    return IBM_DDYS_T36950N.build(sim, tagged_queueing=tags)
+
+
+def submit_and_run(sim, drive, requests):
+    events = [drive.submit(request) for request in requests]
+    sim.run()
+    return events
+
+
+class TestServiceBasics:
+    def test_single_read_takes_positioning_plus_transfer(self):
+        sim = Simulator()
+        drive = build_ide(sim)
+        request = DiskRequest(lba=1_000_000, nsectors=128)
+        submit_and_run(sim, drive, [request])
+        assert request.completion > 0
+        media = drive.geometry.media_rate(1_000_000)
+        transfer = 128 * 512 / media
+        # Positioning cannot exceed full seek + one revolution.
+        ceiling = (drive.seek_model.seek_time(drive.geometry.cylinders - 1)
+                   + drive.rotation.revolution_time + transfer + 0.001)
+        assert transfer < request.completion <= ceiling
+
+    def test_sequential_requests_avoid_rotation(self):
+        """Back-to-back sequential reads must run near media rate —
+        the firmware prefetch catches sectors during host gaps."""
+        sim = Simulator()
+        drive = build_ide(sim)
+        nbytes = 64 * 1024
+        nsectors = nbytes // 512
+        total = 8 * 1024 * 1024
+
+        def reader(sim):
+            lba = 0
+            while lba * 512 < total:
+                yield drive.submit(DiskRequest(lba=lba, nsectors=nsectors))
+                yield sim.timeout(0.0002)
+                lba += nsectors
+
+        process = sim.spawn(reader(sim))
+        sim.run_until_complete(process)
+        achieved = total / sim.now
+        media = drive.geometry.media_rate(0)
+        assert achieved > 0.6 * media
+
+    def test_cache_hit_served_at_interface_rate(self):
+        sim = Simulator()
+        drive = build_ide(sim)
+        first = DiskRequest(lba=0, nsectors=16)
+        submit_and_run(sim, drive, [first])
+        start = sim.now
+        # Wait for prefetch to cover the next blocks, then re-request.
+        second = DiskRequest(lba=0, nsectors=16)
+
+        def reread(sim):
+            yield sim.timeout(0.05)
+            began = sim.now
+            yield drive.submit(second)
+            return sim.now - began
+
+        process = sim.spawn(reread(sim))
+        elapsed = sim.run_until_complete(process)
+        interface_time = 16 * 512 / drive.interface_rate
+        assert elapsed == pytest.approx(
+            interface_time + drive.command_overhead, rel=0.01)
+        assert second.serviced_from_cache
+
+    def test_flush_cache_forces_media_read(self):
+        sim = Simulator()
+        drive = build_ide(sim)
+        submit_and_run(sim, drive, [DiskRequest(lba=0, nsectors=16)])
+        drive.flush_cache()
+        second = DiskRequest(lba=0, nsectors=16)
+
+        def reread(sim):
+            yield drive.submit(second)
+
+        sim.run_until_complete(sim.spawn(reread(sim)))
+        assert not second.serviced_from_cache
+
+
+class TestTaggedQueueing:
+    def test_queue_limit_reflects_mode(self):
+        sim = Simulator()
+        assert build_scsi(sim, tags=True).queue_limit == 64
+        assert build_scsi(sim, tags=False).queue_limit == 1
+
+    def test_ide_has_no_tagged_queueing(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            WDC_WD200BB.build(sim, tagged_queueing=True)
+
+    def test_tags_reorder_requests(self):
+        """§5.2's instrumentation: with tags on, service order differs
+        from arrival order; with tags off they match."""
+        def run(tags):
+            sim = Simulator()
+            drive = build_scsi(sim, tags=tags)
+            geometry = drive.geometry
+            spread = geometry.total_sectors // 8
+            requests = [DiskRequest(lba=(7 - i) * spread, nsectors=16)
+                        for i in range(8)]
+            submit_and_run(sim, drive, requests)
+            return drive.stats
+
+        assert run(tags=False).record_orders_match()
+        assert not run(tags=True).record_orders_match()
+        assert run(tags=True).reorder_fraction > 0
+
+
+class TestFirmwareSchedulers:
+    def test_fifo_pops_in_order(self):
+        queue = [DiskRequest(lba=10, nsectors=1),
+                 DiskRequest(lba=5, nsectors=1)]
+        first = FifoFirmware().select(queue, 0.0, lambda r: 0.0)
+        assert first.lba == 10
+
+    def test_sptf_picks_cheapest(self):
+        near = DiskRequest(lba=1, nsectors=1)
+        far = DiskRequest(lba=2, nsectors=1)
+        near.arrival = far.arrival = 0.0
+        queue = [far, near]
+        chosen = AgedSptfFirmware(aging_weight=0.0).select(
+            queue, 0.0, lambda r: 0.001 if r is near else 0.02)
+        assert chosen is near
+
+    def test_aging_overrides_position(self):
+        stale = DiskRequest(lba=1, nsectors=1)
+        fresh = DiskRequest(lba=2, nsectors=1)
+        stale.arrival = 0.0
+        fresh.arrival = 0.099
+        queue = [stale, fresh]
+        chosen = AgedSptfFirmware(aging_weight=1.0).select(
+            queue, 0.1, lambda r: 0.02 if r is stale else 0.001)
+        assert chosen is stale
+
+    def test_negative_aging_rejected(self):
+        with pytest.raises(ValueError):
+            AgedSptfFirmware(aging_weight=-1)
+
+
+class TestStats:
+    def test_bytes_and_counts(self):
+        sim = Simulator()
+        drive = build_ide(sim)
+        submit_and_run(sim, drive, [DiskRequest(lba=0, nsectors=16),
+                                    DiskRequest(lba=16, nsectors=16)])
+        assert drive.stats.requests == 2
+        assert drive.stats.bytes_read == 32 * 512
+        assert drive.stats.busy_time > 0
+
+    def test_seek_counted_for_distant_requests(self):
+        sim = Simulator()
+        drive = build_ide(sim)
+        far = drive.geometry.total_sectors // 2
+        submit_and_run(sim, drive, [DiskRequest(lba=0, nsectors=16),
+                                    DiskRequest(lba=far, nsectors=16)])
+        assert drive.stats.seeks >= 1
+        assert drive.stats.total_seek_cylinders > 0

@@ -1,0 +1,143 @@
+"""Unit and property tests for ZCAV geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk import (DiskGeometry, IBM_DDYS_T36950N, WDC_WD200BB, Zone,
+                        make_linear_zcav_zones)
+
+
+def small_geometry():
+    return DiskGeometry("toy", rpm=6000, heads=2,
+                        zones=[Zone(cylinders=10, sectors_per_track=30),
+                               Zone(cylinders=10, sectors_per_track=20)])
+
+
+class TestZone:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Zone(cylinders=0, sectors_per_track=10)
+        with pytest.raises(ValueError):
+            Zone(cylinders=5, sectors_per_track=0)
+
+
+class TestGeometryBasics:
+    def test_totals(self):
+        geometry = small_geometry()
+        assert geometry.cylinders == 20
+        assert geometry.total_sectors == 10 * 2 * 30 + 10 * 2 * 20
+        assert geometry.capacity_bytes == geometry.total_sectors * 512
+
+    def test_zone_lookup_by_lba(self):
+        geometry = small_geometry()
+        assert geometry.zone_index_of_lba(0) == 0
+        first_inner = 10 * 2 * 30
+        assert geometry.zone_index_of_lba(first_inner - 1) == 0
+        assert geometry.zone_index_of_lba(first_inner) == 1
+
+    def test_lba_out_of_range_rejected(self):
+        geometry = small_geometry()
+        with pytest.raises(ValueError):
+            geometry.zone_of_lba(-1)
+        with pytest.raises(ValueError):
+            geometry.cylinder_of_lba(geometry.total_sectors)
+
+    def test_chs_of_first_and_last(self):
+        geometry = small_geometry()
+        assert geometry.lba_to_chs(0) == (0, 0, 0)
+        cyl, head, sector = geometry.lba_to_chs(
+            geometry.total_sectors - 1)
+        assert cyl == 19 and head == 1 and sector == 19
+
+    def test_chs_validation(self):
+        geometry = small_geometry()
+        with pytest.raises(ValueError):
+            geometry.chs_to_lba(99, 0, 0)
+        with pytest.raises(ValueError):
+            geometry.chs_to_lba(0, 5, 0)
+        with pytest.raises(ValueError):
+            geometry.chs_to_lba(0, 0, 30)  # sector 30 of a 30-spt track
+
+    def test_media_rate_outer_faster_than_inner(self):
+        geometry = small_geometry()
+        outer = geometry.media_rate(0)
+        inner = geometry.media_rate(geometry.total_sectors - 1)
+        assert outer / inner == pytest.approx(30 / 20)
+
+    def test_media_rate_formula(self):
+        geometry = small_geometry()
+        # 30 sectors * 512 bytes per revolution at 100 rev/s.
+        assert geometry.media_rate(0) == pytest.approx(30 * 512 * 100)
+
+    def test_angle_of_lba_cycles_within_track(self):
+        geometry = small_geometry()
+        assert geometry.angle_of_lba(0) == 0.0
+        assert geometry.angle_of_lba(15) == pytest.approx(0.5)
+        assert geometry.angle_of_lba(30) == 0.0  # next head, sector 0
+
+
+class TestLinearZcav:
+    def test_monotone_decreasing_density(self):
+        zones = make_linear_zcav_zones(10, 1000, outer_spt=600,
+                                       inner_spt=400)
+        densities = [zone.sectors_per_track for zone in zones]
+        assert densities[0] == 600
+        assert densities[-1] == 400
+        assert densities == sorted(densities, reverse=True)
+
+    def test_cylinder_count_preserved(self):
+        zones = make_linear_zcav_zones(7, 1003, 500, 300)
+        assert sum(zone.cylinders for zone in zones) == 1003
+
+    def test_single_zone(self):
+        zones = make_linear_zcav_zones(1, 100, 500, 300)
+        assert len(zones) == 1
+        assert zones[0].sectors_per_track == 500
+
+    def test_inverted_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            make_linear_zcav_zones(4, 100, outer_spt=300, inner_spt=500)
+
+
+class TestPaperDrives:
+    @pytest.mark.parametrize("spec", [IBM_DDYS_T36950N, WDC_WD200BB])
+    def test_outer_inner_ratio_near_paper(self, spec):
+        """§5.1: inner:outer typically 2:3 (some drives up to 1:2)."""
+        geometry = spec.geometry()
+        outer = geometry.media_rate(0)
+        inner = geometry.media_rate(geometry.total_sectors - 1)
+        assert 1.3 <= outer / inner <= 2.1
+
+    def test_scsi_capacity_class(self):
+        capacity = IBM_DDYS_T36950N.geometry().capacity_bytes
+        assert 30e9 < capacity < 45e9
+
+    def test_ide_capacity_class(self):
+        capacity = WDC_WD200BB.geometry().capacity_bytes
+        assert 15e9 < capacity < 25e9
+
+
+@given(st.integers(min_value=0))
+@settings(max_examples=200, deadline=None)
+def test_lba_chs_roundtrip(seed):
+    geometry = IBM_DDYS_T36950N.geometry()
+    lba = seed % geometry.total_sectors
+    cyl, head, sector = geometry.lba_to_chs(lba)
+    assert geometry.chs_to_lba(cyl, head, sector) == lba
+
+
+@given(st.integers(min_value=0))
+@settings(max_examples=100, deadline=None)
+def test_cylinder_of_lba_matches_chs(seed):
+    geometry = WDC_WD200BB.geometry()
+    lba = seed % geometry.total_sectors
+    assert geometry.cylinder_of_lba(lba) == geometry.lba_to_chs(lba)[0]
+
+
+@given(st.integers(min_value=1))
+@settings(max_examples=100, deadline=None)
+def test_media_rate_never_increases_with_lba(seed):
+    geometry = WDC_WD200BB.geometry()
+    lba = seed % (geometry.total_sectors - 1)
+    assert geometry.media_rate(lba) >= geometry.media_rate(lba + 1) - 1e-9

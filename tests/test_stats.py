@@ -1,0 +1,110 @@
+"""Unit and property tests for the statistics helpers."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import RunningSummary, Series, SeriesSet, summarize
+
+
+class TestRunningSummary:
+    def test_known_values(self):
+        summary = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert summary.mean == pytest.approx(5.0)
+        assert summary.count == 8
+        assert summary.minimum == 2.0
+        assert summary.maximum == 9.0
+
+    def test_single_value_has_zero_std(self):
+        summary = summarize([3.5])
+        assert summary.std == 0.0
+        assert summary.mean == 3.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_relative_std(self):
+        summary = summarize([10.0, 10.0, 10.0])
+        assert summary.relative_std == 0.0
+
+    def test_ci95_scales_with_count(self):
+        narrow = summarize([1.0, 2.0, 3.0] * 30)
+        wide = summarize([1.0, 2.0, 3.0])
+        assert narrow.ci95() < wide.ci95()
+
+    def test_str_formats_mean_and_std(self):
+        summary = summarize([7.66, 7.66])
+        assert str(summary) == "7.66 (0.00)"
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=2, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_statistics_module(self, values):
+        summary = summarize(values)
+        assert summary.mean == pytest.approx(statistics.fmean(values),
+                                             rel=1e-9, abs=1e-6)
+        assert summary.std == pytest.approx(statistics.stdev(values),
+                                            rel=1e-6, abs=1e-6)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_min_le_mean_le_max(self, values):
+        summary = summarize(values)
+        assert summary.minimum <= summary.mean + 1e-9
+        assert summary.mean <= summary.maximum + 1e-9
+
+
+class TestSeries:
+    def test_add_and_lookup(self):
+        series = Series("ide1")
+        series.add(1, summarize([10.0]))
+        series.add(2, summarize([12.0]))
+        assert series.at(2).mean == 12.0
+        assert series.xs == [1, 2]
+        assert series.means == [10.0, 12.0]
+
+    def test_missing_point_raises(self):
+        series = Series("x")
+        with pytest.raises(KeyError):
+            series.at(99)
+
+
+class TestSeriesSet:
+    def build(self):
+        figure = SeriesSet("Fig X", xlabel="readers")
+        a = figure.new_series("a")
+        a.add(1, summarize([10.0, 11.0]))
+        a.add(2, summarize([8.0]))
+        b = figure.new_series("b")
+        b.add(1, summarize([5.0]))
+        return figure
+
+    def test_labels(self):
+        assert self.build().labels == ["a", "b"]
+
+    def test_get_by_label(self):
+        figure = self.build()
+        assert figure.get("a").at(1).count == 2
+        with pytest.raises(KeyError):
+            figure.get("zzz")
+
+    def test_render_contains_all_cells(self):
+        text = self.build().render()
+        assert "Fig X" in text
+        assert "readers" in text
+        assert "10.50" in text
+        assert "8.00" in text
+        assert "-" in text  # the missing b@2 cell
+
+    def test_render_without_std(self):
+        text = self.build().render(show_std=False)
+        assert "(" not in text.replace("(MB/s)", "")
+
+    def test_render_aligns_columns(self):
+        lines = self.build().render().splitlines()
+        header = lines[2]
+        assert header.startswith("readers")

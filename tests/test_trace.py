@@ -1,0 +1,106 @@
+"""Unit tests for trace generation and reordering metrics."""
+
+import random
+
+import pytest
+
+from repro.readahead import (CursorHeuristic, DefaultHeuristic,
+                             SlowDownHeuristic)
+from repro.trace import (TraceRecord, mean_seqcount,
+                         offset_backjump_fraction, random_trace,
+                         reorder_fraction, sequential_trace,
+                         sequentiality_profile, stride_trace)
+
+BLOCK = 8 * 1024
+
+
+class TestGeneration:
+    def test_sequential_trace_in_order(self):
+        trace = sequential_trace("fh", 100)
+        assert [record.offset for record in trace] == \
+            [index * BLOCK for index in range(100)]
+        assert reorder_fraction(trace) == 0.0
+
+    def test_reordered_trace_has_inversions(self):
+        trace = sequential_trace("fh", 1000, reorder_probability=0.3,
+                                 rng=random.Random(1))
+        assert reorder_fraction(trace) > 0.05
+        # It is still a permutation: every block exactly once.
+        assert sorted(record.offset for record in trace) == \
+            [index * BLOCK for index in range(1000)]
+
+    def test_displacement_is_bounded(self):
+        trace = sequential_trace("fh", 500, reorder_probability=0.5,
+                                 max_displacement=3,
+                                 rng=random.Random(2))
+        for position, record in enumerate(trace):
+            assert abs(record.client_seq - position) <= 3
+
+    def test_stride_trace_pattern(self):
+        trace = stride_trace("fh", nblocks=8, strides=2)
+        offsets = [record.offset // BLOCK for record in trace]
+        assert offsets == [0, 4, 1, 5, 2, 6, 3, 7]
+
+    def test_random_trace_within_file(self):
+        trace = random_trace("fh", nblocks=50, rng=random.Random(3))
+        assert all(0 <= record.offset < 50 * BLOCK for record in trace)
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(time=0.0, fh="f", offset=-1, count=1,
+                        client_seq=0)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            sequential_trace("fh", 10, reorder_probability=2.0)
+        with pytest.raises(ValueError):
+            stride_trace("fh", 10, strides=0)
+
+
+class TestMetrics:
+    def test_reorder_fraction_counts_per_handle(self):
+        records = [
+            TraceRecord(0.0, "a", 0 * BLOCK, BLOCK, 0),
+            TraceRecord(0.1, "b", 0 * BLOCK, BLOCK, 0),
+            TraceRecord(0.2, "a", 2 * BLOCK, BLOCK, 2),
+            TraceRecord(0.3, "a", 1 * BLOCK, BLOCK, 1),  # inverted
+        ]
+        assert reorder_fraction(records) == pytest.approx(0.5)
+
+    def test_backjump_fraction(self):
+        trace = stride_trace("fh", nblocks=16, strides=2)
+        # Every other adjacent pair jumps back to the first arm.
+        assert offset_backjump_fraction(trace) == pytest.approx(
+            7 / 15, rel=0.01)
+
+    def test_empty_trace_metrics(self):
+        assert reorder_fraction([]) == 0.0
+        assert offset_backjump_fraction([]) == 0.0
+
+    def test_profile_length_matches_trace(self):
+        trace = sequential_trace("fh", 64)
+        profile = sequentiality_profile(trace, DefaultHeuristic())
+        assert len(profile) == 64
+
+    def test_slowdown_beats_default_on_reordered_stream(self):
+        """The paper's motivating comparison, §6.2."""
+        trace = sequential_trace("fh", 2000, reorder_probability=0.10,
+                                 rng=random.Random(4))
+        slow = mean_seqcount(trace, SlowDownHeuristic())
+        default = mean_seqcount(trace, DefaultHeuristic())
+        assert slow > 2 * default
+
+    def test_cursor_beats_both_on_stride_stream(self):
+        """The §7 comparison: only cursors see stride sequentiality."""
+        trace = stride_trace("fh", nblocks=4096, strides=4)
+        cursor = mean_seqcount(trace, CursorHeuristic())
+        slow = mean_seqcount(trace, SlowDownHeuristic())
+        default = mean_seqcount(trace, DefaultHeuristic())
+        assert cursor > 10 * max(slow, default)
+
+    def test_random_stream_defeats_everything(self):
+        trace = random_trace("fh", nblocks=100_000, accesses=2000,
+                             rng=random.Random(5))
+        for heuristic in (DefaultHeuristic(), SlowDownHeuristic(),
+                          CursorHeuristic()):
+            assert mean_seqcount(trace, heuristic) < 3.0

@@ -1,0 +1,236 @@
+"""Unit and integration tests for the write path (§8 extension)."""
+
+import pytest
+
+from repro.disk import DiskRequest, Partition, WDC_WD200BB
+from repro.ffs import FileSystem, SequentialAllocator
+from repro.host import TestbedConfig, build_nfs_testbed
+from repro.kernel import BufferCache, DiskIoScheduler
+from repro.sim import Simulator
+
+BLOCK = 8 * 1024
+MB = 1 << 20
+
+
+def build_cache(capacity_bytes=8 << 20):
+    sim = Simulator()
+    drive = WDC_WD200BB.build(sim)
+    iosched = DiskIoScheduler(sim, drive)
+    cache = BufferCache(sim, iosched, capacity_bytes=capacity_bytes)
+    return sim, drive, cache
+
+
+class TestDriveWrites:
+    def test_write_request_is_mechanical(self):
+        sim = Simulator()
+        drive = WDC_WD200BB.build(sim)
+        request = DiskRequest(lba=100_000, nsectors=128, is_write=True)
+        drive.submit(request)
+        sim.run()
+        assert drive.stats.writes == 1
+        assert request.completion > 0
+
+    def test_write_does_not_prefetch(self):
+        sim = Simulator()
+        drive = WDC_WD200BB.build(sim)
+        drive.submit(DiskRequest(lba=0, nsectors=16, is_write=True))
+        sim.run()
+        assert drive.cache.segments == []
+
+    def test_write_moves_head(self):
+        sim = Simulator()
+        drive = WDC_WD200BB.build(sim)
+        far = drive.geometry.total_sectors // 2
+        drive.submit(DiskRequest(lba=far, nsectors=16, is_write=True))
+        sim.run()
+        assert drive.current_cylinder > 0
+
+
+class TestBufferCacheWrites:
+    def test_write_is_immediate_and_dirty(self):
+        sim, drive, cache = build_cache()
+        cache.write(0, 4)
+        assert cache.dirty_blocks == 4
+        assert 0 in cache            # written data is readable
+        assert drive.stats.writes == 0   # nothing on disk yet
+
+    def test_threshold_triggers_writeback(self):
+        sim, drive, cache = build_cache()
+        cache.writeback_threshold = 8
+        cache.write(0, 8)
+        sim.run()
+        assert cache.dirty_blocks == 0
+        assert drive.stats.writes >= 1
+
+    def test_sync_flushes_everything(self):
+        sim, drive, cache = build_cache()
+        cache.write(10, 3)
+        cache.write(100, 2)
+
+        def syncer(sim):
+            yield cache.sync()
+
+        sim.run_until_complete(sim.spawn(syncer(sim)))
+        assert cache.dirty_blocks == 0
+        assert drive.stats.writes == 2  # two contiguous runs
+
+    def test_contiguous_dirty_runs_coalesce(self):
+        sim, drive, cache = build_cache()
+        cache.write(0, 4)
+        cache.write(4, 4)
+        cache.writeback()
+        sim.run()
+        assert cache.stats.disk_writes_issued == 1
+
+    def test_dirty_blocks_never_evicted(self):
+        sim, drive, cache = build_cache(capacity_bytes=4 * BLOCK)
+        cache.write(0, 4)
+        cache.write(100, 4)   # over capacity, but all dirty
+        assert all(blkno in cache for blkno in (0, 1, 2, 3))
+
+    def test_flush_keeps_dirty(self):
+        sim, drive, cache = build_cache()
+        cache.write(0, 2)
+        cache.flush()
+        assert 0 in cache
+        assert cache.dirty_blocks == 2
+
+    def test_zero_block_write_rejected(self):
+        sim, drive, cache = build_cache()
+        with pytest.raises(ValueError):
+            cache.write(0, 0)
+
+    def test_read_after_write_hits(self):
+        sim, drive, cache = build_cache()
+        cache.write(5, 2)
+
+        def reader(sim):
+            yield cache.read(5, 2)
+
+        sim.run_until_complete(sim.spawn(reader(sim)))
+        assert cache.stats.hits == 2
+
+
+class TestFfsWrites:
+    def build_fs(self):
+        sim = Simulator()
+        drive = WDC_WD200BB.build(sim)
+        iosched = DiskIoScheduler(sim, drive)
+        cache = BufferCache(sim, iosched, capacity_bytes=8 << 20)
+        allocator = SequentialAllocator(
+            Partition("p1", first_lba=0, sectors=1_000_000))
+        return sim, drive, cache, FileSystem(sim, cache, allocator)
+
+    def test_write_returns_bytes(self):
+        sim, drive, cache, fs = self.build_fs()
+        inode = fs.create_file("f", 10 * BLOCK)
+
+        def writer(sim):
+            got = yield from fs.write(inode, 0, 4 * BLOCK)
+            return got
+
+        assert sim.run_until_complete(sim.spawn(writer(sim))) == \
+            4 * BLOCK
+        assert cache.stats.blocks_written == 4
+
+    def test_write_clamped_at_size(self):
+        sim, drive, cache, fs = self.build_fs()
+        inode = fs.create_file("f", 2 * BLOCK)
+
+        def writer(sim):
+            got = yield from fs.write(inode, BLOCK, 10 * BLOCK)
+            return got
+
+        assert sim.run_until_complete(sim.spawn(writer(sim))) == BLOCK
+
+    def test_sync_reaches_disk(self):
+        sim, drive, cache, fs = self.build_fs()
+        inode = fs.create_file("f", 8 * BLOCK)
+
+        def writer(sim):
+            yield from fs.write(inode, 0, 8 * BLOCK)
+            yield from fs.sync()
+
+        sim.run_until_complete(sim.spawn(writer(sim)))
+        assert drive.stats.writes >= 1
+
+
+class TestNfsWrites:
+    def test_write_commit_read_round_trip(self):
+        testbed = build_nfs_testbed(TestbedConfig())
+        testbed.server.export_file("data", MB)
+
+        def worker(sim):
+            nfile = yield from testbed.mount.open("data")
+            wrote = yield from testbed.mount.write(nfile, 0, MB)
+            yield from testbed.mount.commit(nfile)
+            read = yield from testbed.mount.read(nfile, 0, 64 * 1024)
+            return wrote, read
+
+        wrote, read = testbed.sim.run_until_complete(
+            testbed.sim.spawn(worker(testbed.sim)))
+        assert wrote == MB
+        assert read == 64 * 1024
+        assert testbed.server.stats.writes == MB // BLOCK
+        assert testbed.server.stats.commits == 1
+        assert testbed.drive.stats.writes >= 1
+
+    def test_stable_write_hits_disk_before_reply(self):
+        testbed = build_nfs_testbed(TestbedConfig())
+        from repro.nfs import WriteRequest
+        testbed.server.export_file("data", 4 * BLOCK)
+        fh = testbed.server.fh_of("data")
+
+        def handler_call(sim):
+            reply, _nbytes = yield from testbed.server.handle(
+                WriteRequest(fh=fh, offset=0, count=BLOCK, stable=True))
+            return reply
+
+        testbed.sim.run_until_complete(
+            testbed.sim.spawn(handler_call(testbed.sim)))
+        assert testbed.drive.stats.writes >= 1
+        assert testbed.cache.dirty_blocks == 0
+
+    def test_getattr_round_trip(self):
+        testbed = build_nfs_testbed(TestbedConfig())
+        testbed.server.export_file("data", 3 * BLOCK)
+
+        def worker(sim):
+            nfile = yield from testbed.mount.open("data")
+            size = yield from testbed.mount.getattr(nfile)
+            return size
+
+        assert testbed.sim.run_until_complete(
+            testbed.sim.spawn(worker(testbed.sim))) == 3 * BLOCK
+        assert testbed.server.stats.getattrs == 1
+
+    def test_mixed_runner_smoke(self):
+        from repro.bench.mixed import run_mixed_once
+        result = run_mixed_once(TestbedConfig(), nreaders=2, nwriters=1,
+                                nstatters=1, scale=1 / 64)
+        assert result.throughput_mb_s > 0
+        assert len(result.readers) == 2
+
+
+class TestNoReadAheadHeuristic:
+    def test_pinned_at_zero(self):
+        from repro.readahead import NoReadAheadHeuristic, ReadState
+        heuristic, state = NoReadAheadHeuristic(), ReadState()
+        for index in range(5):
+            assert heuristic.observe(state, index * BLOCK, BLOCK) == 0
+
+    def test_registered_by_name(self):
+        from repro.readahead import make_heuristic
+        assert make_heuristic("none").name == "none"
+
+    def test_server_with_none_is_slower(self):
+        """With more streams than firmware prefetch segments, server
+        read-ahead is the difference between streaming and seeking.
+        (At 1-2 streams the drive's own prefetch masks it entirely —
+        which is itself one of the paper's benchmarking lessons.)"""
+        from repro.bench.runner import run_nfs_once
+        none = run_nfs_once(TestbedConfig(server_heuristic="none"),
+                            8, scale=1 / 32)
+        always = run_nfs_once(TestbedConfig(server_heuristic="always"),
+                              8, scale=1 / 32)
+        assert always.throughput_mb_s > 1.5 * none.throughput_mb_s
