@@ -3,10 +3,10 @@
 from .fileset import (FileSpec, ITERATION_BYTES, READER_COUNTS,
                       files_for_readers, full_fileset)
 from .readers import (ReaderResult, SEQUENTIAL_READ_SIZE,
-                      STRIDE_READ_SIZE, sequential_reader, stride_offsets,
-                      stride_reader)
-from .runner import (RunResult, repeat, run_local_once, run_nfs_once,
-                     run_stride_once)
+                      STRIDE_READ_SIZE, resilient_sequential_reader,
+                      sequential_reader, stride_offsets, stride_reader)
+from .runner import (FaultRunResult, RunResult, repeat, run_faulted_once,
+                     run_local_once, run_nfs_once, run_stride_once)
 
 __all__ = [
     "FileSpec",
@@ -15,14 +15,17 @@ __all__ = [
     "READER_COUNTS",
     "ITERATION_BYTES",
     "ReaderResult",
+    "resilient_sequential_reader",
     "sequential_reader",
     "stride_reader",
     "stride_offsets",
     "SEQUENTIAL_READ_SIZE",
     "STRIDE_READ_SIZE",
     "RunResult",
+    "FaultRunResult",
     "run_local_once",
     "run_nfs_once",
+    "run_faulted_once",
     "run_stride_once",
     "repeat",
 ]

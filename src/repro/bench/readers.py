@@ -26,6 +26,10 @@ class ReaderResult:
     bytes_read: int = 0
     start_time: float = 0.0
     finish_time: float = 0.0
+    #: read() calls issued (tracked by the resilient reader).
+    read_attempts: int = 0
+    #: read() calls that returned an error (soft-mount ETIMEDOUT).
+    errors: int = 0
 
     @property
     def elapsed(self) -> float:
@@ -54,6 +58,51 @@ def sequential_reader(sim, open_fn, read_fn, size: int,
         offset += got
         if think_time > 0:
             yield sim.timeout(think_time)
+    result.finish_time = sim.now
+    return result
+
+
+def resilient_sequential_reader(sim, open_fn, read_fn, size: int,
+                                result: ReaderResult,
+                                read_size: int = SEQUENTIAL_READ_SIZE,
+                                give_up_after: Optional[int] = 5):
+    """A sequential reader that survives I/O errors (generator process).
+
+    On a soft mount a dead or badly degraded server surfaces as
+    ``OSError`` (``ETIMEDOUT``) from read(); this reader counts the
+    error and skips the chunk, like a bulk-transfer tool that logs and
+    presses on.  ``give_up_after`` consecutive failures abort the file —
+    no application retries forever on a mount that keeps timing out.
+    On hard mounts read() never raises, so this behaves exactly like
+    :func:`sequential_reader`.
+    """
+    result.start_time = sim.now
+    try:
+        handle = yield from open_fn()
+    except OSError:
+        result.errors += 1
+        result.read_attempts += 1
+        result.finish_time = sim.now
+        return result
+    offset = 0
+    consecutive = 0
+    while offset < size:
+        nbytes = min(read_size, size - offset)
+        result.read_attempts += 1
+        try:
+            got = yield from read_fn(handle, offset, nbytes)
+        except OSError:
+            result.errors += 1
+            consecutive += 1
+            if give_up_after is not None and consecutive >= give_up_after:
+                break
+            offset += nbytes
+            continue
+        consecutive = 0
+        if got <= 0:
+            break
+        result.bytes_read += got
+        offset += got
     result.finish_time = sim.now
     return result
 

@@ -21,7 +21,8 @@ from ..host.testbed import (LocalTestbed, NfsTestbed, TestbedConfig,
 from ..sim import Simulator
 from ..stats import RunningSummary, Summary
 from .fileset import FileSpec, files_for_readers
-from .readers import ReaderResult, sequential_reader, stride_reader
+from .readers import (ReaderResult, resilient_sequential_reader,
+                      sequential_reader, stride_reader)
 
 MB = 1024 * 1024
 
@@ -44,6 +45,44 @@ class RunResult:
     def completion_times(self) -> List[float]:
         """Sorted per-reader completion times (Figure 3's raw data)."""
         return sorted(reader.finish_time for reader in self.readers)
+
+
+@dataclass
+class FaultRunResult(RunResult):
+    """A faulted run: goodput plus the recovery-machinery counters.
+
+    ``total_bytes`` counts only successfully delivered application
+    bytes, so :attr:`throughput_mb_s` *is* goodput; the alias makes the
+    intent explicit at call sites.
+    """
+
+    retransmits: int = 0
+    tcp_segment_retransmits: int = 0
+    rpc_timeouts: int = 0
+    dupreq_hits: int = 0
+    duplicate_executions: int = 0
+    reader_errors: int = 0
+    read_attempts: int = 0
+    server_crashes: int = 0
+    server_dropped: int = 0
+
+    @property
+    def goodput_mb_s(self) -> float:
+        return self.throughput_mb_s
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of application read() calls that returned an error."""
+        if self.read_attempts == 0:
+            return 0.0
+        return self.reader_errors / self.read_attempts
+
+    @property
+    def dupreq_hit_rate(self) -> float:
+        """Cache answers per retransmitted request (0 if none resent)."""
+        if self.retransmits == 0:
+            return 0.0
+        return self.dupreq_hits / self.retransmits
 
 
 def _run_readers(testbed, spawn_reader, specs: Sequence[FileSpec]
@@ -124,6 +163,62 @@ def run_nfs_once(config: TestbedConfig, nreaders: int,
             name=f"reader:{spec.name}")
 
     return _run_readers(testbed, spawn, specs)
+
+
+# ---------------------------------------------------------------------------
+# NFS under fault injection (extension X4)
+# ---------------------------------------------------------------------------
+
+def run_faulted_once(config: TestbedConfig, nreaders: int,
+                     scale: float = 1.0) -> FaultRunResult:
+    """One NFS run with error-tolerant readers and fault accounting.
+
+    Works for clean configs too, but the point is ``config.faults``:
+    readers use :func:`resilient_sequential_reader` so a soft mount's
+    ETIMEDOUT is counted instead of aborting the run, and the result
+    carries the retransmission / dupreq / crash counters needed to
+    judge graceful degradation.
+    """
+    testbed = build_nfs_testbed(config)
+    specs = files_for_readers(nreaders, scale)
+    for spec in specs:
+        testbed.server.export_file(spec.name, spec.size)
+    counter = {"next": 0}
+
+    def spawn(tb: NfsTestbed, spec: FileSpec, result: ReaderResult):
+        mount = tb.mount_for(counter["next"])
+        counter["next"] += 1
+
+        def open_fn():
+            nfile = yield from mount.open(spec.name)
+            return nfile
+
+        def read_fn(handle, offset, nbytes):
+            got = yield from mount.read(handle, offset, nbytes)
+            return got
+
+        return tb.sim.spawn(
+            resilient_sequential_reader(tb.sim, open_fn, read_fn,
+                                        spec.size, result),
+            name=f"reader:{spec.name}")
+
+    base = _run_readers(testbed, spawn, specs)
+    server_stats = testbed.server.stats
+    return FaultRunResult(
+        readers=base.readers,
+        total_bytes=base.total_bytes,
+        retransmits=sum(c.retransmitted for c in testbed.rpc_clients),
+        tcp_segment_retransmits=sum(
+            getattr(ep, "retransmits", 0)
+            for ep in testbed.transport_endpoints),
+        rpc_timeouts=sum(c.timeouts for c in testbed.rpc_clients),
+        dupreq_hits=sum(s.dupreq_hits for s in testbed.rpc_servers),
+        duplicate_executions=sum(s.duplicate_executions
+                                 for s in testbed.rpc_servers),
+        reader_errors=sum(r.errors for r in base.readers),
+        read_attempts=sum(r.read_attempts for r in base.readers),
+        server_crashes=server_stats.crashes,
+        server_dropped=server_stats.dropped_requests)
 
 
 # ---------------------------------------------------------------------------

@@ -24,7 +24,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=("Reproduce figures and tables from 'NFS Tricks and "
                      "Benchmarking Traps' (USENIX 2003) in simulation."))
     parser.add_argument("experiment",
-                        help="experiment id (fig1..fig8, table1) or "
+                        help="experiment id (fig1..fig8, table1, "
+                             "xaged, xlossy, xmixed, xfaults) or "
                              "'list' / 'all'")
     parser.add_argument("--scale", type=float, default=0.125,
                         help="file-size scale factor; 1.0 is the paper's "

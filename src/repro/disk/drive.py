@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..faults.disk import DiskFaultInjector
 from ..sim import Event, Simulator
 from .cache import SegmentedCache
 from .geometry import DiskGeometry
@@ -68,6 +69,7 @@ class DiskDrive:
                  command_overhead: float = 0.0002,
                  tagged_queueing: bool = True,
                  bus=None,
+                 faults: Optional[DiskFaultInjector] = None,
                  name: str = "disk"):
         self.sim = sim
         self.geometry = geometry
@@ -84,6 +86,9 @@ class DiskDrive:
         #: every byte read from the drive is DMAed across it, so disk
         #: and NIC traffic contend for the same 54 MB/s (§4.1).
         self.bus = bus
+        #: Optional :class:`~repro.faults.DiskFaultInjector` consulted
+        #: once per command (media-error retries, lost commands, resets).
+        self.faults = faults
         segment_sectors = max(1, cache_segment_bytes // geometry.sector_size)
         self.cache = SegmentedCache(cache_segments, segment_sectors)
         self.stats = DriveStats()
@@ -164,6 +169,16 @@ class DiskDrive:
             self._busy = True
             start = self.sim.now
             duration = self._service(request)
+            if self.faults is not None:
+                extra, reset = self.faults.service_penalty(
+                    not request.serviced_from_cache, self.sim.now)
+                duration += extra
+                if reset:
+                    # A reset drops the firmware's prefetch cache and
+                    # queue state; queued commands stay queued (the host
+                    # re-issues them, which in this model is the same
+                    # thing).
+                    self.cache.invalidate()
             if self.bus is not None:
                 # The data must also cross the host bus; completion is
                 # whichever finishes later (DMA overlaps the media read).
@@ -229,7 +244,12 @@ class DiskDrive:
             remainder = request.nsectors - lookup.covered_sectors
             rate = geometry.media_rate(request.lba)
             media_time = remainder * geometry.sector_size / rate
-            duration = overhead + media_time
+            # The buffered prefix ships over the interface while the
+            # remainder comes off the media, but every byte still
+            # crosses the interface: the command cannot complete faster
+            # than its full interface transfer.
+            duration = overhead + max(media_time,
+                                      nbytes / self.interface_rate)
             self._finish_media_read(request, rate, now + duration)
             return duration
 

@@ -58,7 +58,7 @@ class DriveSpec:
 
     def build(self, sim: Simulator, tagged_queueing: Optional[bool] = None,
               name: Optional[str] = None, cache_rng=None,
-              bus=None) -> DiskDrive:
+              bus=None, faults=None) -> DiskDrive:
         """Instantiate a :class:`DiskDrive` from this spec.
 
         ``tagged_queueing`` defaults to the drive's capability (the
@@ -80,6 +80,7 @@ class DriveSpec:
             command_overhead=self.command_overhead,
             tagged_queueing=tagged_queueing,
             bus=bus,
+            faults=faults,
             name=name or self.name)
         drive.cache.replacement = self.cache_replacement
         if cache_rng is not None:

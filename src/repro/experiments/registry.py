@@ -62,4 +62,5 @@ def _ensure_loaded() -> None:
     from . import (fig1_zcav, fig2_tagged_queues, fig3_fairness,  # noqa
                    fig4_nfs_udp, fig5_nfs_tcp, fig6_readahead_potential,
                    fig7_slowdown_nfsheur, fig8_stride, table1_stride,
-                   xaged_fs, xlossy_network, xmixed_workload)
+                   xaged_fs, xfaults_degradation, xlossy_network,
+                   xmixed_workload)

@@ -1,0 +1,45 @@
+"""Deterministic fault injection for every layer of the request path.
+
+The paper's central warning is that transport- and device-level effects
+can swamp the heuristic being measured (§5).  This package turns those
+effects into first-class, reproducible experimental inputs:
+
+* **network** — Gilbert–Elliott burst frame loss, per-frame corruption,
+  datagram duplication, transient partitions (:mod:`.network`);
+* **disk** — media-error retries, lost commands, drive resets that drop
+  the tagged queue and prefetch cache (:mod:`.disk`);
+* **server** — nfsd crash/restart with buffer-cache loss, and stalls
+  (:mod:`.server`).
+
+Declare what should go wrong in a :class:`FaultSpec`; a
+:class:`FaultPlan` pairs it with seeded random streams so a faulted run
+replays identically under the same master seed.  The testbed
+(:class:`repro.host.testbed.TestbedConfig` ``faults=``) threads the
+injectors through the drive, the transports, and the server.
+"""
+
+from .disk import DiskFaultInjector
+from .network import (DELIVER, DROP_CORRUPT, DROP_LOSS, DROP_PARTITION,
+                      DUPLICATE, GilbertElliott, NetworkFaultInjector)
+from .plan import FaultPlan
+from .server import CRASH, STALL, ServerFaultInjector
+from .spec import DiskFaults, FaultSpec, NetworkFaults, ServerFaults
+
+__all__ = [
+    "FaultSpec",
+    "NetworkFaults",
+    "DiskFaults",
+    "ServerFaults",
+    "FaultPlan",
+    "GilbertElliott",
+    "NetworkFaultInjector",
+    "DiskFaultInjector",
+    "ServerFaultInjector",
+    "DELIVER",
+    "DUPLICATE",
+    "DROP_LOSS",
+    "DROP_CORRUPT",
+    "DROP_PARTITION",
+    "CRASH",
+    "STALL",
+]

@@ -1,0 +1,59 @@
+"""Disk fault injection: media errors, lost commands, drive resets.
+
+The injector sits inside :class:`repro.disk.drive.DiskDrive`'s service
+loop and converts configured fault rates into extra service latency and
+occasional resets.  Faults here are *recoverable* — real drives retry
+media errors internally and hosts re-issue timed-out commands — so the
+request always completes; what degrades is latency, exactly the
+graceful-degradation regime the benchmarks measure.  (Hard failures
+surface at the RPC layer instead, as terminal timeouts.)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from .spec import DiskFaults
+
+
+class DiskFaultInjector:
+    """Per-drive fault state and counters."""
+
+    def __init__(self, spec: DiskFaults, rng: random.Random,
+                 name: str = "disk-faults"):
+        self.spec = spec
+        self.name = name
+        self._rng = rng
+        self._next_reset = spec.reset_interval or float("inf")
+        self.media_errors = 0
+        self.command_timeouts = 0
+        self.resets = 0
+
+    def service_penalty(self, media_read: bool, now: float
+                        ) -> Tuple[float, bool]:
+        """Extra service seconds for one command, plus a reset flag.
+
+        Called once per command as the drive begins service.  A True
+        reset flag tells the drive to drop its tagged queue state and
+        prefetch cache (the host re-issues queued commands, which in
+        this model simply remain queued).
+        """
+        spec = self.spec
+        rng = self._rng
+        extra = 0.0
+        reset = False
+        if (media_read and spec.media_error_rate > 0.0
+                and rng.random() < spec.media_error_rate):
+            self.media_errors += 1
+            extra += spec.media_retry_time
+        if (spec.command_timeout_rate > 0.0
+                and rng.random() < spec.command_timeout_rate):
+            self.command_timeouts += 1
+            extra += spec.command_timeout_penalty
+        if now >= self._next_reset:
+            self.resets += 1
+            self._next_reset = now + spec.reset_interval
+            extra += spec.reset_latency
+            reset = True
+        return extra, reset

@@ -1,0 +1,127 @@
+"""Network fault injection: Gilbert–Elliott loss, corruption,
+duplication, partitions.
+
+One :class:`NetworkFaultInjector` serves one *direction* of one link
+(the same granularity as :class:`repro.net.link.Link`), with its own
+random stream, so the loss processes on independent links are
+independent — and a run is bit-for-bit reproducible under a fixed
+master seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from .spec import NetworkFaults
+
+#: Datagram fates returned by :meth:`NetworkFaultInjector.datagram_fate`.
+DELIVER = "deliver"
+DUPLICATE = "duplicate"
+DROP_LOSS = "drop-loss"
+DROP_CORRUPT = "drop-corrupt"
+DROP_PARTITION = "drop-partition"
+
+
+class GilbertElliott:
+    """The classic two-state burst-loss chain, stepped once per frame."""
+
+    __slots__ = ("p_enter_bad", "p_exit_bad", "loss_good", "loss_bad",
+                 "_rng", "bad")
+
+    def __init__(self, spec: NetworkFaults, rng: random.Random):
+        self.p_enter_bad = spec.p_enter_bad
+        self.p_exit_bad = spec.p_exit_bad
+        self.loss_good = spec.loss_good
+        self.loss_bad = spec.loss_bad
+        self._rng = rng
+        self.bad = False
+
+    def step(self) -> bool:
+        """Advance one frame; return True iff that frame is lost."""
+        rng = self._rng
+        if self.bad:
+            if rng.random() < self.p_exit_bad:
+                self.bad = False
+        elif self.p_enter_bad > 0.0 and rng.random() < self.p_enter_bad:
+            self.bad = True
+        loss = self.loss_bad if self.bad else self.loss_good
+        return loss > 0.0 and rng.random() < loss
+
+
+class NetworkFaultInjector:
+    """Decides the fate of every frame crossing one link direction."""
+
+    def __init__(self, spec: NetworkFaults, rng: random.Random,
+                 name: str = "net-faults"):
+        self.spec = spec
+        self.name = name
+        self._rng = rng
+        self._chain = GilbertElliott(spec, rng)
+        #: Sorted, non-overlapping partition windows as (start, end).
+        self._windows: Tuple[Tuple[float, float], ...] = tuple(sorted(
+            (start, start + duration)
+            for start, duration in spec.partitions))
+        self.frames_seen = 0
+        self.frames_lost = 0
+        self.frames_corrupted = 0
+        self.datagrams_duplicated = 0
+        self.partition_drops = 0
+
+    # ------------------------------------------------------------------
+
+    def partition_wait(self, now: float) -> float:
+        """Seconds until the current partition window ends (0 if none)."""
+        for start, end in self._windows:
+            if start <= now < end:
+                return end - now
+        return 0.0
+
+    def _step_frames(self, frames: int) -> Tuple[int, int]:
+        """Step the chain ``frames`` times; return (lost, corrupted).
+
+        The chain is stepped for *every* frame even when an early frame
+        already doomed the datagram, so its trajectory (and hence every
+        later decision) does not depend on message boundaries — a
+        determinism property the tests rely on.
+        """
+        lost = corrupted = 0
+        corrupt_rate = self.spec.corrupt_rate
+        for _ in range(frames):
+            self.frames_seen += 1
+            if self._chain.step():
+                self.frames_lost += 1
+                lost += 1
+            elif corrupt_rate > 0.0 and self._rng.random() < corrupt_rate:
+                self.frames_corrupted += 1
+                corrupted += 1
+        return lost, corrupted
+
+    def frame_losses(self, frames: int) -> int:
+        """TCP semantics: each dead frame costs one segment recovery."""
+        lost, corrupted = self._step_frames(frames)
+        return lost + corrupted
+
+    def datagram_fate(self, frames: int, now: float) -> str:
+        """UDP semantics: the datagram survives only if every frame does."""
+        if self.partition_wait(now) > 0.0:
+            self.partition_drops += 1
+            return DROP_PARTITION
+        lost, corrupted = self._step_frames(frames)
+        if lost > 0:
+            return DROP_LOSS
+        if corrupted > 0:
+            return DROP_CORRUPT
+        if (self.spec.duplicate_rate > 0.0
+                and self._rng.random() < self.spec.duplicate_rate):
+            self.datagrams_duplicated += 1
+            return DUPLICATE
+        return DELIVER
+
+
+def maybe_injector(spec: Optional[NetworkFaults], rng: random.Random,
+                   name: str) -> Optional[NetworkFaultInjector]:
+    """Convenience: ``None`` spec → ``None`` injector."""
+    if spec is None:
+        return None
+    return NetworkFaultInjector(spec, rng, name=name)

@@ -1,0 +1,49 @@
+"""FaultPlan: a FaultSpec married to seeded random streams.
+
+Every injector draws from its own named stream (derived from the plan's
+:class:`~repro.sim.rand.RandomStreams`), so:
+
+* the same master seed reproduces the same faults, frame for frame;
+* adding a fault to one layer does not perturb the draws of another
+  (common-random-numbers across configurations);
+* two directions of the same link lose packets independently.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.rand import RandomStreams
+from .disk import DiskFaultInjector
+from .network import NetworkFaultInjector
+from .server import ServerFaultInjector
+from .spec import FaultSpec
+
+
+class FaultPlan:
+    """Builds the per-component injectors for one run."""
+
+    def __init__(self, spec: FaultSpec, streams: RandomStreams):
+        self.spec = spec
+        self.streams = streams
+
+    def network_injector(self, name: str) -> Optional[NetworkFaultInjector]:
+        """An injector for one link direction (e.g. ``"up0"``)."""
+        if self.spec.network is None:
+            return None
+        return NetworkFaultInjector(
+            self.spec.network, self.streams.stream(f"net:{name}"),
+            name=f"net-faults:{name}")
+
+    def disk_injector(self, name: str = "disk"
+                      ) -> Optional[DiskFaultInjector]:
+        if self.spec.disk is None:
+            return None
+        return DiskFaultInjector(
+            self.spec.disk, self.streams.stream(f"disk:{name}"),
+            name=f"disk-faults:{name}")
+
+    def server_injector(self) -> Optional[ServerFaultInjector]:
+        if self.spec.server is None:
+            return None
+        return ServerFaultInjector(self.spec.server)

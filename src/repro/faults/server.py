@@ -1,0 +1,39 @@
+"""Server fault injection: nfsd crash/restart and stalls.
+
+An NFS server is stateless by design, so its canonical failure mode is
+brutal and simple: the machine reboots, every request in the window is
+never answered, and clients recover purely by RPC retransmission (§5.4's
+coarse timer).  What the reboot *does* cost is the server's buffer
+cache — the first requests after restart all go to the platter.  The
+injector produces the schedule; :class:`repro.nfs.server.NfsServer`
+enacts it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .spec import ServerFaults
+
+CRASH = "crash"
+STALL = "stall"
+
+
+class ServerFaultInjector:
+    """The crash/stall timetable for one server."""
+
+    def __init__(self, spec: ServerFaults, name: str = "server-faults"):
+        self.spec = spec
+        self.name = name
+        self.crashes = 0
+        self.stalls = 0
+
+    @property
+    def has_events(self) -> bool:
+        return bool(self.spec.crash_times or self.spec.stall_times)
+
+    def schedule(self) -> List[Tuple[float, str]]:
+        """All fault events as (absolute time, kind), time-ordered."""
+        events = [(when, CRASH) for when in self.spec.crash_times]
+        events += [(when, STALL) for when in self.spec.stall_times]
+        return sorted(events)

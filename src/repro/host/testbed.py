@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Union
 
 from ..disk import (DiskDrive, DriveSpec, IBM_DDYS_T36950N, Partition,
                     WDC_WD200BB, make_partitions)
+from ..faults import FaultPlan, FaultSpec
 from ..ffs import FfsParams, FileSystem, SequentialAllocator
 from ..kernel import BufferCache, DiskIoScheduler
 from ..net import (GIGABIT, Link, RpcClient, RpcServer, SERVER_PCI_DMA,
@@ -71,6 +72,25 @@ class TestbedConfig:
     rsize: int = 8 * 1024
     #: Record READ arrivals at the server (reordering instrumentation).
     record_server_trace: bool = False
+    #: Fault-injection plan (``None`` = clean run).  Enabling any fault
+    #: also turns on RPC retransmission, backoff jitter, and — over
+    #: TCP — the RPC-level retry timer that recovers from server
+    #: crashes.
+    faults: Optional[FaultSpec] = None
+    #: Soft mount: a major timeout surfaces as ETIMEDOUT.  The default
+    #: (hard, as in the paper's testbed) retries forever.
+    mount_soft: bool = False
+    #: Initial retransmit timeout in seconds (``timeo``).
+    mount_timeo: float = 0.9
+    #: Soft-mount retransmission budget (``retrans``; mount_nfs's
+    #: classic default).
+    mount_retrans: int = 4
+    #: Server duplicate-request cache entries (0 disables it).  Sized to
+    #: cover every request the server can complete inside one
+    #: retransmission window (~1 s at ~1000 ops/s), so a retransmitted
+    #: request always finds its entry — an undersized cache silently
+    #: re-executes, which is the bug the cache exists to prevent.
+    dupreq_cache_size: int = 4096
     seed: int = 0
 
     def fs_label(self) -> str:
@@ -100,6 +120,12 @@ class LocalTestbed:
         self.config = config
         self.sim = Simulator()
         self.streams = RandomStreams(config.seed)
+        #: Built once per run so every injector draws from its own
+        #: seed-derived stream (deterministic replay).
+        self.fault_plan: Optional[FaultPlan] = (
+            FaultPlan(config.faults, self.streams)
+            if config.faults is not None and config.faults.any_faults
+            else None)
         spec = DRIVE_SPECS[config.drive]
         self.machine = Machine(self.sim, "server",
                                rng=self.streams.stream("server-cpu"))
@@ -110,7 +136,9 @@ class LocalTestbed:
         self.drive: DiskDrive = spec.build(
             self.sim, tagged_queueing=config.tagged_queueing,
             cache_rng=self.streams.stream("drive-cache"),
-            bus=self.server_pci)
+            bus=self.server_pci,
+            faults=(self.fault_plan.disk_injector()
+                    if self.fault_plan else None))
         self.partitions: List[Partition] = make_partitions(
             self.drive.geometry, prefix=config.drive)
         self.partition = self.partitions[config.partition - 1]
@@ -155,6 +183,13 @@ class NfsTestbed(LocalTestbed):
 
         self.client_machines: List[Machine] = []
         self.mounts: List[NfsMount] = []
+        self.rpc_clients: List[RpcClient] = []
+        self.rpc_servers: List[RpcServer] = []
+        #: Every transport endpoint built, for post-run fault accounting
+        #: (UDP datagram losses, TCP segment retransmits).
+        self.transport_endpoints: list = []
+        server_faults = (self.fault_plan.server_injector()
+                         if self.fault_plan else None)
         for index in range(config.num_clients):
             machine = Machine(
                 sim, f"client{index}",
@@ -169,50 +204,102 @@ class NfsTestbed(LocalTestbed):
                     heuristic=heuristic,
                     config=NfsServerConfig(
                         nfsheur_params=config.nfsheur_params(),
-                        record_trace=config.record_server_trace))
+                        record_trace=config.record_server_trace),
+                    faults=server_faults)
             else:
                 rpc_server.serve(self.server.handle)
             mount = NfsMount(
                 sim, machine, rpc_client,
                 config=NfsMountConfig(transport=config.transport,
-                                      read_size=config.rsize),
+                                      read_size=config.rsize,
+                                      soft=config.mount_soft,
+                                      timeo=config.mount_timeo,
+                                      retrans=config.mount_retrans),
                 name=f"mnt{index}")
             self.client_machines.append(machine)
             self.mounts.append(mount)
+            self.rpc_clients.append(rpc_client)
+            self.rpc_servers.append(rpc_server)
 
         # Single-client conveniences (the common case).
         self.client_machine = self.client_machines[0]
         self.mount = self.mounts[0]
 
+    def _rpc_policy(self, config: TestbedConfig, index: int,
+                    needs_timer: bool) -> dict:
+        """Retransmission keywords for one client's :class:`RpcClient`.
+
+        Hard mounts retry forever (``max_retransmits=None``); soft
+        mounts carry the ``retrans`` budget.  Jitter is enabled only on
+        faulted runs, so the pre-existing lossy-network experiment keeps
+        its exact timing.
+        """
+        if not needs_timer:
+            return {}
+        policy = {
+            "retransmit_timeout": config.mount_timeo,
+            "max_retransmits": (config.mount_retrans
+                                if config.mount_soft else None),
+        }
+        if self.fault_plan is not None:
+            policy["jitter"] = 0.1
+            policy["rng"] = self.streams.stream(f"rpc-jitter{index}")
+        return policy
+
     def _make_channel(self, config: TestbedConfig, index: int,
                       client_tx: Link):
         sim = self.sim
+        plan = self.fault_plan
+        faulted = plan is not None
         if config.transport == "udp":
             client_ep = UdpEndpoint(
                 sim, client_tx, loss_rate=config.loss_rate,
                 rng=self.streams.stream(f"udp-up{index}"),
+                faults=(plan.network_injector(f"up{index}")
+                        if faulted else None),
                 name=f"udp-client{index}")
             server_ep = UdpEndpoint(
                 sim, self.server_tx, loss_rate=config.loss_rate,
                 rng=self.streams.stream(f"udp-down{index}"),
+                faults=(plan.network_injector(f"down{index}")
+                        if faulted else None),
                 name=f"udp-server{index}")
             client_ep.connect(server_ep)
             server_ep.connect(client_ep)
+            self.transport_endpoints += [client_ep, server_ep]
             rpc_client = RpcClient(
                 sim, client_ep, client_ep,
-                retransmit_timeout=0.9 if config.loss_rate else None)
-            rpc_server = RpcServer(sim, server_ep, server_ep)
+                name=f"client{index}",
+                **self._rpc_policy(config, index,
+                                   bool(config.loss_rate) or faulted))
+            rpc_server = RpcServer(
+                sim, server_ep, server_ep,
+                dupreq_cache_size=config.dupreq_cache_size,
+                track_duplicates=faulted)
         elif config.transport == "tcp":
             up = TcpConnection(
                 sim, client_tx, loss_rate=config.loss_rate,
                 rng=self.streams.stream(f"tcp-up{index}"),
+                faults=(plan.network_injector(f"up{index}")
+                        if faulted else None),
                 name=f"tcp-up{index}")
             down = TcpConnection(
                 sim, self.server_tx, loss_rate=config.loss_rate,
                 rng=self.streams.stream(f"tcp-down{index}"),
+                faults=(plan.network_injector(f"down{index}")
+                        if faulted else None),
                 name=f"tcp-down{index}")
-            rpc_client = RpcClient(sim, up, down)
-            rpc_server = RpcServer(sim, up, down)
+            self.transport_endpoints += [up, down]
+            # TCP needs no RPC timer for plain segment loss (the stream
+            # recovers), but only retransmission survives a crashed or
+            # partitioned server — so faulted runs arm it.
+            rpc_client = RpcClient(
+                sim, up, down, name=f"client{index}",
+                **self._rpc_policy(config, index, faulted))
+            rpc_server = RpcServer(
+                sim, up, down,
+                dupreq_cache_size=config.dupreq_cache_size,
+                track_duplicates=faulted)
         else:
             raise ValueError(f"unknown transport {config.transport!r}")
         return rpc_client, rpc_server

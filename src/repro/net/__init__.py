@@ -3,8 +3,8 @@
 from .frames import (ETHERNET_FRAME_OVERHEAD, ETHERNET_MTU, FramingPlan,
                      plan_tcp_stream, plan_udp_datagram)
 from .link import FAST_ETHERNET, GIGABIT, Link, SERVER_PCI_DMA
-from .rpc import (RPC_CALL_HEADER, RPC_REPLY_HEADER, RpcClient, RpcMessage,
-                  RpcServer, Transport)
+from .rpc import (RPC_CALL_HEADER, RPC_MAX_TIMEOUT, RPC_REPLY_HEADER,
+                  RpcClient, RpcMessage, RpcServer, RpcTimeout, Transport)
 from .tcp import DEFAULT_WINDOW, TcpConnection
 from .udp import UdpEndpoint
 
@@ -24,7 +24,9 @@ __all__ = [
     "RpcClient",
     "RpcServer",
     "RpcMessage",
+    "RpcTimeout",
     "Transport",
     "RPC_CALL_HEADER",
     "RPC_REPLY_HEADER",
+    "RPC_MAX_TIMEOUT",
 ]

@@ -2,22 +2,53 @@
 
 NFS v2/v3 are RPC programs; the mount's transport choice (§5.4 — UDP by
 default under ``mount_nfs``, TCP by default under many ``amd`` builds)
-decides which transport carries the calls.  The RPC layer itself is
-thin: transaction-id matching, optional retransmission for datagram
-transports, and fixed header costs.
+decides which transport carries the calls.  The layer models what the
+FreeBSD-era RPC code actually does under failure:
+
+* **retransmission with exponential backoff** — a call unanswered after
+  the current timeout is sent again with the *same* xid, and the
+  timeout doubles (with optional jitter) up to a ceiling, mirroring the
+  client's ``timeo``/backoff behaviour;
+* **terminal timeouts** — when a retransmission budget is given
+  (soft-mount semantics), exhausting it fails the caller's event with
+  :class:`RpcTimeout` and forgets the xid; with no budget (hard-mount
+  semantics) the client retries forever;
+* **a server-side duplicate-request cache** keyed by (client, xid), so
+  a retransmitted request whose original is still executing is dropped,
+  and one whose reply was already sent is answered from cache instead
+  of being re-executed — the standard defence against retransmitted
+  non-idempotent operations.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Protocol
+from typing import Any, Callable, Dict, Optional, Protocol, Tuple
 
 from ..sim import Event, Simulator
 
 #: Approximate bytes of RPC + NFS call/reply headers on the wire.
 RPC_CALL_HEADER = 136
 RPC_REPLY_HEADER = 104
+
+#: Ceiling on the backed-off retransmission timeout (the classic
+#: 60-second major-timeout cap of the BSD client).
+RPC_MAX_TIMEOUT = 60.0
+
+
+class RpcTimeout(Exception):
+    """A call exhausted its retransmission budget (soft-mount failure)."""
+
+    def __init__(self, xid: int, attempts: int, elapsed: float):
+        super().__init__(
+            f"xid {xid} unanswered after {attempts} attempts "
+            f"({elapsed:.3f}s)")
+        self.xid = xid
+        self.attempts = attempts
+        self.elapsed = elapsed
 
 
 class Transport(Protocol):
@@ -34,41 +65,81 @@ class RpcMessage:
     body: Any
     payload_bytes: int
     is_reply: bool = False
+    #: Originating client name — the dupreq-cache key's first half.
+    client: str = ""
 
 
 class RpcClient:
     """Issues calls and matches replies by transaction id.
 
-    ``retransmit_timeout`` enables datagram-style retransmission: a call
-    unanswered after the timeout is sent again (with the same xid, as
-    real NFS clients do — the duplicate-request cache on real servers is
-    out of scope since our benchmarks never trigger it on a lossless
-    LAN, but retransmission keeps lossy configurations live).
+    ``retransmit_timeout`` enables retransmission: a call unanswered
+    after the timeout is sent again with the same xid, as real NFS
+    clients do.  Successive timeouts grow by ``backoff_factor`` up to
+    ``max_timeout``; when ``rng`` is supplied, each wait is stretched by
+    up to ``jitter`` (fractional) to decorrelate clients.
+
+    ``max_retransmits`` is the soft-mount budget: after that many
+    retransmissions plus one final wait, the pending event *fails* with
+    :class:`RpcTimeout` and the xid is forgotten.  ``None`` means retry
+    forever — hard-mount semantics.
     """
 
     def __init__(self, sim: Simulator, out_transport: Transport,
                  in_transport: Transport,
                  retransmit_timeout: Optional[float] = None,
-                 max_retransmits: int = 10,
+                 max_retransmits: Optional[int] = 10,
+                 backoff_factor: float = 2.0,
+                 max_timeout: float = RPC_MAX_TIMEOUT,
+                 jitter: float = 0.0,
+                 rng: Optional[random.Random] = None,
                  name: str = "rpc-client"):
+        if retransmit_timeout is not None and retransmit_timeout <= 0:
+            raise ValueError("retransmit_timeout must be positive")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
         self.sim = sim
         self.out = out_transport
         self.retransmit_timeout = retransmit_timeout
         self.max_retransmits = max_retransmits
+        self.backoff_factor = backoff_factor
+        self.max_timeout = max_timeout
+        self.jitter = jitter
         self.name = name
+        self._rng = rng
         self._xids = itertools.count(1)
         self._pending: Dict[int, Event] = {}
         self.calls = 0
         self.retransmitted = 0
+        self.timeouts = 0
         in_transport.bind(self._on_reply)
 
+    def backoff_schedule(self, attempt: int) -> float:
+        """The deterministic (pre-jitter) wait before retransmission
+        ``attempt`` (0-based): ``timeo * factor**attempt``, capped."""
+        if self.retransmit_timeout is None:
+            raise ValueError("retransmission is not enabled")
+        return min(self.retransmit_timeout * self.backoff_factor ** attempt,
+                   self.max_timeout)
+
+    @property
+    def pending_calls(self) -> int:
+        return len(self._pending)
+
     def call(self, body: Any, payload_bytes: int) -> Event:
-        """Send a call; the returned event fires with the reply body."""
+        """Send a call; the returned event fires with the reply body.
+
+        On retransmission-budget exhaustion the event *fails* with
+        :class:`RpcTimeout` instead — a waiting process sees it raised
+        at its ``yield``.
+        """
         xid = next(self._xids)
         reply = self.sim.event(name=f"{self.name}.xid{xid}")
         self._pending[xid] = reply
         self.calls += 1
-        message = RpcMessage(xid, body, payload_bytes + RPC_CALL_HEADER)
+        message = RpcMessage(xid, body, payload_bytes + RPC_CALL_HEADER,
+                             client=self.name)
         self.out.send(message, message.payload_bytes)
         if self.retransmit_timeout is not None:
             self.sim.spawn(self._watchdog(message, reply),
@@ -76,38 +147,77 @@ class RpcClient:
         return reply
 
     def _watchdog(self, message: RpcMessage, reply: Event):
-        for _attempt in range(self.max_retransmits):
-            yield self.sim.timeout(self.retransmit_timeout)
+        started = self.sim.now
+        attempt = 0
+        while True:
+            delay = self.backoff_schedule(attempt)
+            if self.jitter > 0.0 and self._rng is not None:
+                delay *= 1.0 + self.jitter * self._rng.random()
+            yield self.sim.timeout(delay)
             if reply.triggered:
                 return None
+            if (self.max_retransmits is not None
+                    and attempt >= self.max_retransmits):
+                # Terminal failure: deliver RpcTimeout to the waiter and
+                # forget the xid (a late reply is dropped as unknown).
+                self._pending.pop(message.xid, None)
+                self.timeouts += 1
+                reply.fail(RpcTimeout(message.xid, attempt + 1,
+                                      self.sim.now - started))
+                return None
+            attempt += 1
             self.retransmitted += 1
             self.out.send(message, message.payload_bytes)
-        return None
 
     def _on_reply(self, message: RpcMessage) -> None:
         pending = self._pending.pop(message.xid, None)
         if pending is not None and not pending.triggered:
             pending.succeed(message.body)
-        # Late duplicate replies (post-retransmit) are dropped, as real
-        # RPC clients drop replies with unknown xids.
+        # Late or duplicate replies (post-retransmit, post-timeout) are
+        # dropped, as real RPC clients drop replies with unknown xids.
+
+
+#: Sentinel marking a dupreq-cache entry whose handler is still running.
+_IN_PROGRESS = object()
 
 
 class RpcServer:
     """Dispatches incoming calls to an asynchronous handler.
 
     The handler is a generator function ``handler(body)`` returning
-    ``(reply_body, reply_payload_bytes)``; each call runs as its own
-    simulation process, so the server's own concurrency limits (the
+    ``(reply_body, reply_payload_bytes)`` — or ``None`` to drop the
+    request without replying (a crashed server); each call runs as its
+    own simulation process, so the server's own concurrency limits (the
     nfsd pool) live in the handler.
+
+    ``dupreq_cache_size`` bounds the duplicate-request cache (0
+    disables it): a retransmission of an in-flight request is dropped,
+    and a retransmission of an answered request is served the cached
+    reply without re-executing the handler.  ``track_duplicates``
+    additionally counts handler executions per (client, xid) so
+    experiments can assert zero duplicate executions.
     """
 
     def __init__(self, sim: Simulator, in_transport: Transport,
-                 out_transport: Transport, name: str = "rpc-server"):
+                 out_transport: Transport, name: str = "rpc-server",
+                 dupreq_cache_size: int = 128,
+                 track_duplicates: bool = False):
+        if dupreq_cache_size < 0:
+            raise ValueError("dupreq_cache_size cannot be negative")
         self.sim = sim
         self.out = out_transport
         self.name = name
+        self.dupreq_cache_size = dupreq_cache_size
         self.handler = None
         self.requests = 0
+        self.executed = 0
+        self.dropped = 0
+        self.dupreq_hits = 0
+        self.dupreq_in_progress_drops = 0
+        self.duplicate_executions = 0
+        self._dupreq: "OrderedDict[Tuple[str, int], Any]" = OrderedDict()
+        self._track_duplicates = track_duplicates
+        self._executed_keys: set = set()
         in_transport.bind(self._on_request)
 
     def serve(self, handler) -> None:
@@ -117,12 +227,64 @@ class RpcServer:
         if self.handler is None:
             raise RuntimeError(f"{self.name}: no handler registered")
         self.requests += 1
+        key = (message.client, message.xid)
+        if self.dupreq_cache_size > 0:
+            entry = self._dupreq.get(key)
+            if entry is _IN_PROGRESS:
+                # The original is still executing; the eventual reply
+                # answers both copies.
+                self.dupreq_in_progress_drops += 1
+                return
+            if entry is not None:
+                # Answered before: resend the cached reply, do NOT
+                # re-execute (the op may not be idempotent).
+                self.dupreq_hits += 1
+                self._dupreq.move_to_end(key)
+                self.out.send(entry, entry.payload_bytes)
+                return
+            self._dupreq[key] = _IN_PROGRESS
+        if self._track_duplicates:
+            if key in self._executed_keys:
+                self.duplicate_executions += 1
+            else:
+                self._executed_keys.add(key)
+        self.executed += 1
         self.sim.spawn(self._handle(message),
                        name=f"{self.name}.req{message.xid}")
 
     def _handle(self, message: RpcMessage):
-        body, payload_bytes = yield from self.handler(message.body)
+        result = yield from self.handler(message.body)
+        key = (message.client, message.xid)
+        if result is None:
+            # The handler dropped the request (server down): no reply,
+            # and the dupreq slot is vacated so a retransmission after
+            # restart executes fresh.
+            self.dropped += 1
+            self._dupreq.pop(key, None)
+            if self._track_duplicates:
+                self._executed_keys.discard(key)
+            return None
+        body, payload_bytes = result
         reply = RpcMessage(message.xid, body,
-                           payload_bytes + RPC_REPLY_HEADER, is_reply=True)
+                           payload_bytes + RPC_REPLY_HEADER, is_reply=True,
+                           client=message.client)
+        if self.dupreq_cache_size > 0:
+            self._dupreq[key] = reply
+            self._dupreq.move_to_end(key)
+            self._trim_dupreq()
         self.out.send(reply, reply.payload_bytes)
         return None
+
+    def _trim_dupreq(self) -> None:
+        """Evict oldest *completed* entries beyond the size bound.
+
+        In-progress guards are never evicted: dropping one would let a
+        retransmission re-execute a request that is still running.
+        """
+        while len(self._dupreq) > self.dupreq_cache_size:
+            for key, entry in self._dupreq.items():
+                if entry is not _IN_PROGRESS:
+                    del self._dupreq[key]
+                    break
+            else:
+                break

@@ -24,6 +24,7 @@ import random
 from collections import deque
 from typing import Any, Callable, Optional
 
+from ..faults.network import NetworkFaultInjector
 from ..sim import Event, Simulator, Store
 from .frames import plan_tcp_stream
 from .link import Link
@@ -50,6 +51,7 @@ class TcpConnection:
                  loss_rate: float = 0.0,
                  retransmit_timeout: float = 0.005,
                  rng: Optional[random.Random] = None,
+                 faults: Optional[NetworkFaultInjector] = None,
                  name: str = "tcp"):
         if window <= 0:
             raise ValueError("window must be positive")
@@ -58,6 +60,7 @@ class TcpConnection:
         self.window = window
         self.loss_rate = loss_rate
         self.retransmit_timeout = retransmit_timeout
+        self.faults = faults
         self.name = name
         self._rng = rng or random.Random(0x7C9)
         self._receiver: Optional[Callable[[Any], None]] = None
@@ -84,7 +87,22 @@ class TcpConnection:
             yield from self._reserve_window(min(plan.wire_bytes,
                                                 self.window))
             yield self.sim.timeout(self.SEND_OVERHEAD)
-            if self.loss_rate > 0.0:
+            if self.faults is not None:
+                # A partition stalls the stream: TCP keeps retrying and
+                # the connection survives (no datagrams vanish), but
+                # nothing crosses until the window ends.
+                wait = self.faults.partition_wait(self.sim.now)
+                while wait > 0.0:
+                    yield self.sim.timeout(wait)
+                    wait = self.faults.partition_wait(self.sim.now)
+                # Per-segment recovery: each dead frame costs one
+                # fast-retransmit-class penalty, not a whole datagram —
+                # the §5.4 asymmetry with UDP.  (Sequence numbers also
+                # make TCP immune to duplication faults.)
+                for _ in range(self.faults.frame_losses(plan.frames)):
+                    self.retransmits += 1
+                    yield self.sim.timeout(self.retransmit_timeout)
+            elif self.loss_rate > 0.0:
                 survive = (1.0 - self.loss_rate) ** plan.frames
                 while self._rng.random() > survive:
                     self.retransmits += 1

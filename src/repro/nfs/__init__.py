@@ -1,6 +1,7 @@
 """NFS v2/v3 client and server models, including the nfsheur table."""
 
 from .client import (NfsFile, NfsMount, NfsMountConfig, NfsMountStats)
+from .errors import NfsError, NfsTimeoutError
 from .fhandle import FileHandle
 from .nfsheur import (DEFAULT_NFSHEUR, IMPROVED_NFSHEUR, NfsHeurParams,
                       NfsHeurStats, NfsHeurTable)
@@ -24,6 +25,8 @@ __all__ = [
     "NfsMountConfig",
     "NfsMountStats",
     "NfsFile",
+    "NfsError",
+    "NfsTimeoutError",
     "ReadRequest",
     "ReadReply",
     "WriteRequest",

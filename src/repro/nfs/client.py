@@ -25,10 +25,11 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
 from ..host.machine import Machine
-from ..net.rpc import RpcClient
+from ..net.rpc import RpcClient, RpcTimeout
 from ..readahead import (DefaultHeuristic, Heuristic, ReadState,
                          readahead_blocks)
 from ..sim import Event, Resource, Simulator
+from .errors import NfsTimeoutError
 from .fhandle import FileHandle
 from .protocol import (CommitReply, CommitRequest, LookupReply,
                        LookupRequest, NFS_READ_SIZE, ReadReply,
@@ -48,6 +49,16 @@ class NfsMountConfig:
     read_size: int = NFS_READ_SIZE
     readahead_blocks: int = 4
     nfsiod_count: int = 8
+    #: Soft mount (``mount_nfs -s``): a major timeout surfaces to the
+    #: application as ``ETIMEDOUT``.  Hard mounts (the default, and the
+    #: paper's configuration) retry forever.
+    soft: bool = False
+    #: Initial RPC retransmit timeout in seconds (``timeo``; the real
+    #: knob is in tenths of a second).  Doubles per retry, capped.
+    timeo: float = 0.9
+    #: Retransmissions before a *soft* mount reports failure
+    #: (``retrans``, classic default 4); ignored on hard mounts.
+    retrans: int = 4
     #: CPU to marshal one call (XDR encode, socket send).
     marshal_cpu: float = 0.00005
     #: CPU to process one reply (mbuf chain walk, copy into cache).
@@ -67,6 +78,8 @@ class NfsMountStats:
     cache_hits: int = 0
     readahead_issued: int = 0
     readahead_skipped_busy: int = 0
+    #: Major timeouts surfaced as ETIMEDOUT (soft mounts only).
+    timeouts: int = 0
 
 
 class NfsFile:
@@ -112,11 +125,26 @@ class NfsMount:
         self._cache = {key: value for key, value in self._cache.items()
                        if value != "ready"}
 
+    def _call(self, request):
+        """One RPC round trip (generator; returns the reply).
+
+        A terminal :class:`~repro.net.rpc.RpcTimeout` — which only a
+        soft mount's bounded retransmission budget can produce — is
+        converted to :class:`NfsTimeoutError` (``ETIMEDOUT``), which is
+        what the application sees from the syscall.
+        """
+        try:
+            reply = yield self.rpc.call(request, request.payload_bytes)
+        except RpcTimeout as exc:
+            self.stats.timeouts += 1
+            raise NfsTimeoutError(f"{self.name}: {exc}") from exc
+        return reply
+
     def open(self, name: str):
         """LOOKUP a file (generator; returns an :class:`NfsFile`)."""
         yield from self.machine.execute(self.config.marshal_cpu)
         request = LookupRequest(name)
-        reply = yield self.rpc.call(request, request.payload_bytes)
+        reply = yield from self._call(request)
         if not isinstance(reply, LookupReply):
             raise TypeError(f"bad LOOKUP reply {reply!r}")
         return NfsFile(reply.fh, reply.size)
@@ -175,7 +203,7 @@ class NfsMount:
         """COMMIT: flush unstable server-side writes (generator)."""
         yield from self.machine.execute(self.config.marshal_cpu)
         request = CommitRequest(fh=nfile.fh)
-        reply = yield self.rpc.call(request, request.payload_bytes)
+        reply = yield from self._call(request)
         if not isinstance(reply, CommitReply):
             raise TypeError(f"bad COMMIT reply {reply!r}")
         self.stats.commits += 1
@@ -184,6 +212,10 @@ class NfsMount:
     def _nfsiod_write(self, nfile: NfsFile, block: int):
         try:
             yield from self._write_block(nfile, block)
+        except NfsTimeoutError:
+            # Write-behind failure: the real client reports it at the
+            # next write or close; here it is visible in stats.timeouts.
+            pass
         finally:
             self.nfsiods.release()
         return None
@@ -203,7 +235,7 @@ class NfsMount:
         else:
             yield from self.machine.execute(
                 config.marshal_cpu + config.tcp_extra_cpu)
-        reply = yield self.rpc.call(request, request.payload_bytes)
+        reply = yield from self._call(request)
         if not isinstance(reply, WriteReply):
             raise TypeError(f"bad WRITE reply {reply!r}")
         self.stats.rpc_writes += 1
@@ -215,7 +247,7 @@ class NfsMount:
         from .protocol import GetattrReply, GetattrRequest
         yield from self.machine.execute(self.config.marshal_cpu)
         request = GetattrRequest(fh=nfile.fh)
-        reply = yield self.rpc.call(request, request.payload_bytes)
+        reply = yield from self._call(request)
         if not isinstance(reply, GetattrReply):
             raise TypeError(f"bad GETATTR reply {reply!r}")
         return reply.size
@@ -246,6 +278,11 @@ class NfsMount:
         """An nfsiod carrying one asynchronous READ (holds the daemon)."""
         try:
             yield from self._fetch_block(nfile, block)
+        except NfsTimeoutError:
+            # Read-ahead is best effort: the miss surfaces (and is
+            # retried, or reported) when a foreground read needs the
+            # block.
+            pass
         finally:
             self.nfsiods.release()
         return None
@@ -281,15 +318,20 @@ class NfsMount:
             # is real, so marshalling carries scheduling jitter.
             yield from self.machine.execute(config.marshal_cpu,
                                             jitter=True)
-            pending = self.rpc.call(request, request.payload_bytes)
         else:
             # One ordered stream: the socket write happens promptly at
             # dequeue and the stream preserves order end to end.
             yield from self.machine.execute(
                 config.marshal_cpu + config.tcp_extra_cpu)
-            pending = self.rpc.call(request, request.payload_bytes)
 
-        reply = yield pending
+        try:
+            reply = yield from self._call(request)
+        except NfsTimeoutError as exc:
+            # The block never arrived: evict the placeholder so a later
+            # read retries it, and fail co-waiters parked on the event.
+            self._cache.pop(key, None)
+            done.fail(exc)
+            raise
         if not isinstance(reply, ReadReply):
             raise TypeError(f"bad READ reply {reply!r}")
         extra = config.tcp_extra_cpu if config.transport == "tcp" else 0.0

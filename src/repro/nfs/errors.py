@@ -1,0 +1,27 @@
+"""Client-visible NFS errors.
+
+Both classes are :class:`OSError` subclasses because that is how the
+kernel surfaces them: an application reading a soft-mounted file over a
+dead server gets ``ETIMEDOUT`` from ``read(2)``, not an NFS-specific
+error.  Benchmarks and readers can therefore catch plain ``OSError``.
+"""
+
+from __future__ import annotations
+
+import errno
+
+
+class NfsError(OSError):
+    """Base class for errors an NFS mount surfaces to applications."""
+
+
+class NfsTimeoutError(NfsError):
+    """A soft mount exhausted its ``retrans`` budget (``ETIMEDOUT``).
+
+    Hard mounts never raise this — they retry forever, exactly like the
+    real client (processes block in ``nfs_request`` until the server
+    answers).
+    """
+
+    def __init__(self, message: str):
+        super().__init__(errno.ETIMEDOUT, message)

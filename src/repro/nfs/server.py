@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from ..faults.server import CRASH, ServerFaultInjector
 from ..ffs import FileSystem, Inode
 from ..host.machine import Machine
 from ..net.rpc import RpcServer
@@ -60,6 +61,9 @@ class NfsServerStats:
     lookups: int = 0
     getattrs: int = 0
     seqcount_total: int = 0
+    crashes: int = 0
+    stalls: int = 0
+    dropped_requests: int = 0
 
     @property
     def mean_seqcount(self) -> float:
@@ -72,11 +76,18 @@ class NfsServer:
     def __init__(self, sim: Simulator, machine: Machine, fs: FileSystem,
                  rpc: RpcServer,
                  heuristic: Optional[Heuristic] = None,
-                 config: Optional[NfsServerConfig] = None):
+                 config: Optional[NfsServerConfig] = None,
+                 faults: Optional[ServerFaultInjector] = None):
         self.sim = sim
         self.machine = machine
         self.fs = fs
         self.config = config or NfsServerConfig()
+        self.faults = faults
+        #: While ``now < _down_until`` the server is rebooting: requests
+        #: are dropped unanswered (clients recover by retransmission).
+        self._down_until = 0.0
+        #: While ``now < _stall_until`` new requests wait (nfsd wedge).
+        self._stall_until = 0.0
         self.heuristic: Heuristic = heuristic or DefaultHeuristic()
         import inspect
         self._observe_takes_fh = "fh" in inspect.signature(
@@ -91,6 +102,32 @@ class NfsServer:
         rpc.serve(self.handle)
         for name in fs.files:
             self._export(fs.files[name])
+        if faults is not None and faults.has_events:
+            sim.spawn(self._fault_controller(), name="nfs-server.faults")
+
+    # ------------------------------------------------------------------
+
+    def _fault_controller(self):
+        """Enact the injector's crash/stall timetable."""
+        spec = self.faults.spec
+        for when, kind in self.faults.schedule():
+            if when > self.sim.now:
+                yield self.sim.timeout(when - self.sim.now)
+            if kind == CRASH:
+                self.faults.crashes += 1
+                self.stats.crashes += 1
+                self._down_until = self.sim.now + spec.restart_delay
+                # The reboot loses the buffer cache: post-restart reads
+                # all go to the platter (an NFS server keeps no other
+                # hard state, which is exactly why retransmission is a
+                # complete recovery story).
+                self.fs.cache.flush()
+            else:
+                self.faults.stalls += 1
+                self.stats.stalls += 1
+                self._stall_until = max(
+                    self._stall_until, self.sim.now + spec.stall_duration)
+        return None
 
     # ------------------------------------------------------------------
 
@@ -110,7 +147,17 @@ class NfsServer:
     # ------------------------------------------------------------------
 
     def handle(self, request):
-        """RPC dispatch (generator; returns (reply, payload_bytes))."""
+        """RPC dispatch (generator; returns (reply, payload_bytes)).
+
+        Returns ``None`` — no reply at all — while the server is down;
+        the RPC layer treats that as a dropped request and the client's
+        retransmission timer does the rest.
+        """
+        if self.sim.now < self._down_until:
+            self.stats.dropped_requests += 1
+            return None
+        if self.sim.now < self._stall_until:
+            yield self.sim.timeout(self._stall_until - self.sim.now)
         yield self.nfsds.acquire()
         try:
             if isinstance(request, ReadRequest):

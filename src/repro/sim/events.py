@@ -30,13 +30,15 @@ class Event:
         Optional label used in ``repr`` and error messages.
     """
 
-    __slots__ = ("sim", "name", "state", "value", "callbacks")
+    __slots__ = ("sim", "name", "state", "value", "error", "callbacks")
 
     def __init__(self, sim, name: Optional[str] = None):
         self.sim = sim
         self.name = name
         self.state = PENDING
         self.value: Any = None
+        #: set by :meth:`fail`; delivered by throwing into waiters.
+        self.error: Optional[BaseException] = None
         #: callables invoked as ``cb(event)`` when the event is processed.
         self.callbacks: List[Callable[["Event"], None]] = []
 
@@ -63,6 +65,23 @@ class Event:
             raise RuntimeError(f"{self!r} already triggered")
         self.state = TRIGGERED
         self.value = value
+        self.sim._schedule_event(self, delay)
+        return self
+
+    def fail(self, error: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire as a *failure*.
+
+        A process waiting on the event has ``error`` thrown into it at
+        its ``yield`` (it may catch the exception and carry on); plain
+        callbacks still run and can inspect ``event.error``.  Like
+        :meth:`succeed`, strictly one-shot.
+        """
+        if not isinstance(error, BaseException):
+            raise TypeError(f"fail() needs an exception, got {error!r}")
+        if self.state != PENDING:
+            raise RuntimeError(f"{self!r} already triggered")
+        self.state = TRIGGERED
+        self.error = error
         self.sim._schedule_event(self, delay)
         return self
 

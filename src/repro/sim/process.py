@@ -19,10 +19,12 @@ class Process(Event):
 
     A ``Process`` *is an* :class:`Event`: it fires when the generator
     finishes, with the generator's return value as the event value.  This
-    lets processes wait on each other with a plain ``yield child``.
+    lets processes wait on each other with a plain ``yield child``.  A
+    child that dies with an exception propagates it: the parent's yield
+    raises (catchable), mirroring :meth:`Event.fail`.
     """
 
-    __slots__ = ("generator", "error", "_waiting_on")
+    __slots__ = ("generator", "_waiting_on")
 
     def __init__(self, sim, generator, name: Optional[str] = None):
         if not hasattr(generator, "send"):
@@ -32,7 +34,6 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(
             generator, "__name__", "process"))
         self.generator = generator
-        self.error: Optional[BaseException] = None
         self._waiting_on: Optional[Event] = None
         # Kick off on the next scheduler step at the current time.
         bootstrap = Event(sim, name=f"start:{self.name}")
@@ -63,7 +64,12 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
-        self._step(event.value)
+        if event.error is not None:
+            # The awaited event failed: the exception surfaces at the
+            # process's yield point, where it may be caught.
+            self._step(event.error, throw=True)
+        else:
+            self._step(event.value)
 
     def _step(self, value: Any, throw: bool = False) -> None:
         try:

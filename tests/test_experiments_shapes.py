@@ -34,7 +34,7 @@ class TestRegistry:
         ids = [experiment.id for experiment in all_experiments()]
         assert ids == ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
                        "fig7", "fig8", "table1",
-                       "xaged", "xlossy", "xmixed"]
+                       "xaged", "xfaults", "xlossy", "xmixed"]
 
     def test_get_unknown_raises(self):
         with pytest.raises(KeyError):

@@ -1,0 +1,217 @@
+"""Unit and end-to-end tests for the fault-injection subsystem."""
+
+import random
+
+import pytest
+
+from repro.bench.runner import run_faulted_once
+from repro.faults import (DiskFaults, FaultPlan, FaultSpec, GilbertElliott,
+                          NetworkFaultInjector, NetworkFaults, ServerFaults,
+                          ServerFaultInjector)
+from repro.faults.disk import DiskFaultInjector
+from repro.faults.network import DROP_PARTITION
+from repro.host.testbed import TestbedConfig
+from repro.sim.rand import RandomStreams
+
+
+# ---------------------------------------------------------------------------
+# Specs
+# ---------------------------------------------------------------------------
+
+class TestSpecs:
+    def test_network_validation(self):
+        with pytest.raises(ValueError):
+            NetworkFaults(loss_bad=1.5)
+        with pytest.raises(ValueError):
+            NetworkFaults(p_enter_bad=-0.1)
+        with pytest.raises(ValueError):
+            NetworkFaults(partitions=((1.0, -2.0),))
+
+    def test_from_mean_loss_hits_the_target(self):
+        for target in (0.001, 0.01, 0.05):
+            spec = NetworkFaults.from_mean_loss(target, burst_frames=4.0)
+            assert spec.mean_loss == pytest.approx(target, rel=1e-9)
+
+    def test_from_mean_loss_measured_rate(self):
+        spec = NetworkFaults.from_mean_loss(0.02, burst_frames=4.0)
+        chain = GilbertElliott(spec, random.Random(1234))
+        steps = 400_000
+        lost = sum(chain.step() for _ in range(steps))
+        assert lost / steps == pytest.approx(0.02, rel=0.15)
+
+    def test_any_faults(self):
+        assert not FaultSpec().any_faults
+        assert FaultSpec(network=NetworkFaults()).any_faults
+        assert FaultSpec(disk=DiskFaults(media_error_rate=0.1)).any_faults
+
+
+# ---------------------------------------------------------------------------
+# Injectors
+# ---------------------------------------------------------------------------
+
+class TestNetworkInjector:
+    def test_same_seed_same_fates(self):
+        spec = NetworkFaults.from_mean_loss(0.05, burst_frames=4.0)
+
+        def fates(seed):
+            streams = RandomStreams(seed)
+            injector = NetworkFaultInjector(spec, streams.stream("net:up"))
+            return [injector.datagram_fate(6, now=float(i))
+                    for i in range(500)]
+
+        assert fates(7) == fates(7)
+        assert fates(7) != fates(8)
+
+    def test_partition_window(self):
+        spec = NetworkFaults(partitions=((1.0, 0.5),))
+        injector = NetworkFaultInjector(spec, random.Random(0))
+        assert injector.partition_wait(0.5) == 0.0
+        assert injector.partition_wait(1.2) == pytest.approx(0.3)
+        assert injector.partition_wait(1.6) == 0.0
+        assert injector.datagram_fate(6, now=1.2) == DROP_PARTITION
+        assert injector.partition_drops == 1
+
+    def test_tcp_counts_dead_frames_individually(self):
+        spec = NetworkFaults(loss_good=1.0, loss_bad=1.0)
+        injector = NetworkFaultInjector(spec, random.Random(0))
+        assert injector.frame_losses(6) == 6
+        assert injector.frames_lost == 6
+
+
+class TestDiskInjector:
+    def test_media_errors_add_latency_to_media_reads_only(self):
+        spec = DiskFaults(media_error_rate=1.0, media_retry_time=0.015)
+        injector = DiskFaultInjector(spec, random.Random(0))
+        extra, reset = injector.service_penalty(media_read=True, now=0.0)
+        assert extra == pytest.approx(0.015)
+        assert not reset
+        extra, _ = injector.service_penalty(media_read=False, now=0.0)
+        assert extra == 0.0
+        assert injector.media_errors == 1
+
+    def test_reset_schedule(self):
+        spec = DiskFaults(reset_interval=1.0, reset_latency=0.5)
+        injector = DiskFaultInjector(spec, random.Random(0))
+        _, reset = injector.service_penalty(media_read=True, now=0.5)
+        assert not reset
+        extra, reset = injector.service_penalty(media_read=True, now=1.5)
+        assert reset and extra == pytest.approx(0.5)
+        # Re-arms relative to the reset, not the epoch.
+        _, reset = injector.service_penalty(media_read=True, now=2.0)
+        assert not reset
+        assert injector.resets == 1
+
+
+class TestServerInjector:
+    def test_schedule_is_time_ordered(self):
+        spec = ServerFaults(crash_times=(5.0, 1.0), stall_times=(3.0,))
+        injector = ServerFaultInjector(spec)
+        assert injector.has_events
+        assert [when for when, _ in injector.schedule()] == [1.0, 3.0, 5.0]
+
+    def test_plan_builds_injectors_per_stream(self):
+        spec = FaultSpec(network=NetworkFaults(loss_good=0.1),
+                         disk=DiskFaults(media_error_rate=0.1),
+                         server=ServerFaults(crash_times=(1.0,)))
+        plan = FaultPlan(spec, RandomStreams(3))
+        up = plan.network_injector("up0")
+        down = plan.network_injector("down0")
+        # Different directions draw from independent streams.
+        assert [up._rng.random() for _ in range(4)] != \
+            [down._rng.random() for _ in range(4)]
+        assert plan.disk_injector() is not None
+        assert plan.server_injector() is not None
+
+
+# ---------------------------------------------------------------------------
+# End to end through the testbed
+# ---------------------------------------------------------------------------
+
+SCALE = 0.03125  # 8 MB working set: fast, still hundreds of RPCs
+
+
+def lossy_config(transport="udp", soft=False, mean_loss=0.03, seed=11):
+    return TestbedConfig(
+        drive="ide", partition=1, transport=transport,
+        faults=FaultSpec(network=NetworkFaults.from_mean_loss(
+            mean_loss, burst_frames=4.0)),
+        mount_soft=soft, seed=seed)
+
+
+class TestFaultedRuns:
+    def test_seeded_run_is_deterministic(self):
+        first = run_faulted_once(lossy_config(), 2, scale=SCALE)
+        second = run_faulted_once(lossy_config(), 2, scale=SCALE)
+        assert first.goodput_mb_s == second.goodput_mb_s
+        assert first.retransmits == second.retransmits
+        assert first.dupreq_hits == second.dupreq_hits
+        assert first.elapsed == second.elapsed
+
+    def test_loss_degrades_goodput_and_triggers_recovery(self):
+        clean = run_faulted_once(
+            TestbedConfig(drive="ide", partition=1, seed=11), 2,
+            scale=SCALE)
+        lossy = run_faulted_once(lossy_config(), 2, scale=SCALE)
+        assert lossy.goodput_mb_s < clean.goodput_mb_s
+        assert lossy.retransmits > 0
+        assert lossy.duplicate_executions == 0
+        # A hard mount delivers every byte, however slowly.
+        assert lossy.total_bytes == clean.total_bytes
+        assert lossy.reader_errors == 0
+
+    def test_server_crash_recovers_by_retransmission(self):
+        config = TestbedConfig(
+            drive="ide", partition=1, transport="udp",
+            faults=FaultSpec(server=ServerFaults(crash_times=(0.05,),
+                                                 restart_delay=0.2)),
+            seed=11)
+        result = run_faulted_once(config, 2, scale=SCALE)
+        assert result.server_crashes == 1
+        assert result.server_dropped > 0
+        assert result.retransmits > 0
+        assert result.reader_errors == 0
+        assert result.goodput_mb_s > 0
+
+    def test_tcp_survives_server_crash(self):
+        config = TestbedConfig(
+            drive="ide", partition=1, transport="tcp",
+            faults=FaultSpec(server=ServerFaults(crash_times=(0.05,),
+                                                 restart_delay=0.2)),
+            seed=11)
+        result = run_faulted_once(config, 2, scale=SCALE)
+        assert result.server_crashes == 1
+        assert result.reader_errors == 0
+        assert result.goodput_mb_s > 0
+
+    def test_soft_mount_surfaces_etimedout_during_partition(self):
+        config = TestbedConfig(
+            drive="ide", partition=1, transport="udp",
+            faults=FaultSpec(network=NetworkFaults(
+                partitions=((0.0, 60.0),))),
+            mount_soft=True, seed=11)
+        result = run_faulted_once(config, 2, scale=SCALE)
+        assert result.reader_errors > 0
+        assert result.rpc_timeouts > 0
+        assert result.total_bytes == 0
+
+    def test_hard_mount_outlasts_a_short_partition(self):
+        config = TestbedConfig(
+            drive="ide", partition=1, transport="udp",
+            faults=FaultSpec(network=NetworkFaults(
+                partitions=((0.01, 2.0),))),
+            mount_soft=False, seed=11)
+        result = run_faulted_once(config, 2, scale=SCALE)
+        assert result.reader_errors == 0
+        assert result.goodput_mb_s > 0
+        assert result.elapsed > 2.0
+
+    def test_disk_faults_slow_the_run_down(self):
+        base = TestbedConfig(drive="ide", partition=1, seed=11)
+        faulty = TestbedConfig(
+            drive="ide", partition=1, seed=11,
+            faults=FaultSpec(disk=DiskFaults(media_error_rate=0.5,
+                                             media_retry_time=0.02)))
+        clean = run_faulted_once(base, 2, scale=SCALE)
+        slow = run_faulted_once(faulty, 2, scale=SCALE)
+        assert slow.total_bytes == clean.total_bytes
+        assert slow.elapsed > clean.elapsed

@@ -56,6 +56,78 @@ class TestEvent:
         assert times == [2.5]
 
 
+class TestEventFail:
+    def test_fail_throws_into_waiting_process(self):
+        sim = Simulator()
+        event = sim.event("doomed")
+        caught = []
+
+        def waiter(sim):
+            try:
+                yield event
+            except ValueError as exc:
+                caught.append(exc)
+            return None
+
+        sim.spawn(waiter(sim))
+        event.fail(ValueError("boom"), delay=1.0)
+        sim.run()
+        assert len(caught) == 1
+        assert sim.now == 1.0
+
+    def test_uncaught_failure_kills_the_process(self):
+        sim = Simulator()
+        event = sim.event()
+
+        def waiter(sim):
+            yield event
+
+        process = sim.spawn(waiter(sim))
+        event.fail(RuntimeError("no handler"))
+        sim.run()
+        assert isinstance(process.error, RuntimeError)
+
+    def test_fail_needs_an_exception(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_fail_is_one_shot(self):
+        sim = Simulator()
+        event = sim.event().succeed()
+        with pytest.raises(RuntimeError):
+            event.fail(ValueError("late"))
+
+    def test_plain_callbacks_see_the_error(self):
+        sim = Simulator()
+        event = sim.event()
+        seen = []
+        event.add_callback(lambda ev: seen.append(ev.error))
+        event.fail(KeyError("k"))
+        sim.run()
+        assert len(seen) == 1 and isinstance(seen[0], KeyError)
+
+    def test_child_process_error_propagates_to_parent(self):
+        sim = Simulator()
+
+        def child(sim):
+            yield sim.timeout(1.0)
+            raise OSError("child died")
+
+        caught = []
+
+        def parent(sim):
+            try:
+                yield sim.spawn(child(sim))
+            except OSError as exc:
+                caught.append(exc)
+            return "recovered"
+
+        process = sim.spawn(parent(sim))
+        assert sim.run_until_complete(process) == "recovered"
+        assert len(caught) == 1
+
+
 class TestTimeout:
     def test_fires_at_delay(self):
         sim = Simulator()
