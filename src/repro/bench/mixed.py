@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import List
 
 from ..host.testbed import NfsTestbed, TestbedConfig, build_nfs_testbed
+from ..obs.session import active_session
 from .fileset import FileSpec, files_for_readers
 from .readers import ReaderResult, sequential_reader
 from .runner import MB, RunResult
@@ -40,12 +41,13 @@ def run_mixed_once(config: TestbedConfig, nreaders: int,
     stop_flag = {"done": 0}
 
     def make_io(spec):
-        def open_fn():
-            nfile = yield from testbed.mount.open(spec.name)
+        def open_fn(span=None):
+            nfile = yield from testbed.mount.open(spec.name, span=span)
             return nfile
 
-        def read_fn(handle, offset, nbytes):
-            got = yield from testbed.mount.read(handle, offset, nbytes)
+        def read_fn(handle, offset, nbytes, span=None):
+            got = yield from testbed.mount.read(handle, offset, nbytes,
+                                                span=span)
             return got
 
         return open_fn, read_fn
@@ -54,7 +56,7 @@ def run_mixed_once(config: TestbedConfig, nreaders: int,
         open_fn, read_fn = make_io(spec)
         process = testbed.sim.spawn(
             sequential_reader(testbed.sim, open_fn, read_fn, spec.size,
-                              result),
+                              result, tracer=testbed.obs.tracer),
             name=f"reader:{spec.name}")
         process.add_callback(
             lambda _ev: stop_flag.__setitem__(
@@ -91,5 +93,12 @@ def run_mixed_once(config: TestbedConfig, nreaders: int,
     for process in reader_processes:
         if process.error is not None:
             raise process.error
-    return RunResult(readers=results,
-                     total_bytes=sum(r.bytes_read for r in results))
+    result = RunResult(readers=results,
+                       total_bytes=sum(r.bytes_read for r in results))
+    if testbed.obs.enabled:
+        if testbed.obs.registry.enabled:
+            result.metrics = testbed.obs.registry.snapshot()
+        session = active_session()
+        if session is not None:
+            session.record(testbed.obs)
+    return result

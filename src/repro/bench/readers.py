@@ -8,8 +8,11 @@ of Figure 3.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import List, Optional
+
+from ..obs import NULL_SPAN, NULL_TRACER
 
 #: Application read() size for the sequential benchmark.  The NFS client
 #: splits this into 8 KiB wire reads regardless; locally it matches a
@@ -36,22 +39,47 @@ class ReaderResult:
         return self.finish_time - self.start_time
 
 
+def _accepts_span(fn) -> bool:
+    """True if ``fn`` takes a ``span`` keyword.
+
+    Pre-tracing open/read functions (plain 0- and 3-argument
+    callables) remain valid reader arguments; span-aware ones opt in
+    by naming the parameter — the same probe the NFS server uses for
+    its heuristics.
+    """
+    try:
+        return "span" in inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return False
+
+
 def sequential_reader(sim, open_fn, read_fn, size: int,
                       result: ReaderResult,
                       read_size: int = SEQUENTIAL_READ_SIZE,
-                      think_time: float = 0.0):
+                      think_time: float = 0.0,
+                      tracer=None):
     """Read a file from start to end (generator process).
 
     ``open_fn()`` is a generator returning a handle; ``read_fn(handle,
     offset, nbytes)`` is a generator returning bytes read.  The same
     reader body therefore drives both the local FFS and an NFS mount.
+    Either function may also accept a ``span=`` keyword to receive the
+    reader's root tracing span.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    span = (tracer.start(f"reader:{result.name}", "bench")
+            if tracer.enabled else NULL_SPAN)
+    open_takes_span = _accepts_span(open_fn)
+    read_takes_span = _accepts_span(read_fn)
     result.start_time = sim.now
-    handle = yield from open_fn()
+    handle = yield from (open_fn(span=span) if open_takes_span
+                         else open_fn())
     offset = 0
     while offset < size:
         nbytes = min(read_size, size - offset)
-        got = yield from read_fn(handle, offset, nbytes)
+        got = yield from (read_fn(handle, offset, nbytes, span=span)
+                          if read_takes_span
+                          else read_fn(handle, offset, nbytes))
         if got <= 0:
             break
         result.bytes_read += got
@@ -59,13 +87,15 @@ def sequential_reader(sim, open_fn, read_fn, size: int,
         if think_time > 0:
             yield sim.timeout(think_time)
     result.finish_time = sim.now
+    span.finish(bytes=result.bytes_read)
     return result
 
 
 def resilient_sequential_reader(sim, open_fn, read_fn, size: int,
                                 result: ReaderResult,
                                 read_size: int = SEQUENTIAL_READ_SIZE,
-                                give_up_after: Optional[int] = 5):
+                                give_up_after: Optional[int] = 5,
+                                tracer=None):
     """A sequential reader that survives I/O errors (generator process).
 
     On a soft mount a dead or badly degraded server surfaces as
@@ -76,13 +106,20 @@ def resilient_sequential_reader(sim, open_fn, read_fn, size: int,
     On hard mounts read() never raises, so this behaves exactly like
     :func:`sequential_reader`.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    span = (tracer.start(f"reader:{result.name}", "bench")
+            if tracer.enabled else NULL_SPAN)
+    open_takes_span = _accepts_span(open_fn)
+    read_takes_span = _accepts_span(read_fn)
     result.start_time = sim.now
     try:
-        handle = yield from open_fn()
+        handle = yield from (open_fn(span=span) if open_takes_span
+                             else open_fn())
     except OSError:
         result.errors += 1
         result.read_attempts += 1
         result.finish_time = sim.now
+        span.finish(bytes=0, errors=result.errors)
         return result
     offset = 0
     consecutive = 0
@@ -90,7 +127,9 @@ def resilient_sequential_reader(sim, open_fn, read_fn, size: int,
         nbytes = min(read_size, size - offset)
         result.read_attempts += 1
         try:
-            got = yield from read_fn(handle, offset, nbytes)
+            got = yield from (read_fn(handle, offset, nbytes, span=span)
+                              if read_takes_span
+                              else read_fn(handle, offset, nbytes))
         except OSError:
             result.errors += 1
             consecutive += 1
@@ -104,6 +143,7 @@ def resilient_sequential_reader(sim, open_fn, read_fn, size: int,
         result.bytes_read += got
         offset += got
     result.finish_time = sim.now
+    span.finish(bytes=result.bytes_read, errors=result.errors)
     return result
 
 
@@ -128,12 +168,23 @@ def stride_offsets(size: int, strides: int,
 
 def stride_reader(sim, open_fn, read_fn, size: int, strides: int,
                   result: ReaderResult,
-                  read_size: int = STRIDE_READ_SIZE):
+                  read_size: int = STRIDE_READ_SIZE,
+                  tracer=None):
     """Read a file in a stride pattern (generator process)."""
+    tracer = tracer if tracer is not None else NULL_TRACER
+    span = (tracer.start(f"reader:{result.name}", "bench",
+                         strides=strides)
+            if tracer.enabled else NULL_SPAN)
+    open_takes_span = _accepts_span(open_fn)
+    read_takes_span = _accepts_span(read_fn)
     result.start_time = sim.now
-    handle = yield from open_fn()
+    handle = yield from (open_fn(span=span) if open_takes_span
+                         else open_fn())
     for offset in stride_offsets(size, strides, read_size):
-        got = yield from read_fn(handle, offset, read_size)
+        got = yield from (read_fn(handle, offset, read_size, span=span)
+                          if read_takes_span
+                          else read_fn(handle, offset, read_size))
         result.bytes_read += got
     result.finish_time = sim.now
+    span.finish(bytes=result.bytes_read)
     return result

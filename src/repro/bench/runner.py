@@ -18,6 +18,7 @@ from typing import Callable, List, Optional, Sequence
 
 from ..host.testbed import (LocalTestbed, NfsTestbed, TestbedConfig,
                             build_local_testbed, build_nfs_testbed)
+from ..obs.session import active_session
 from ..sim import Simulator
 from ..stats import RunningSummary, Summary
 from .fileset import FileSpec, files_for_readers
@@ -33,6 +34,9 @@ class RunResult:
 
     readers: List[ReaderResult]
     total_bytes: int
+    #: Metrics-registry snapshot for this run (``None`` unless the
+    #: testbed ran with metrics enabled).
+    metrics: Optional[dict] = None
 
     @property
     def elapsed(self) -> float:
@@ -97,8 +101,16 @@ def _run_readers(testbed, spawn_reader, specs: Sequence[FileSpec]
             raise process.error
         if not process.finished:
             raise RuntimeError(f"reader {process.name} never finished")
-    return RunResult(readers=results,
-                     total_bytes=sum(r.bytes_read for r in results))
+    result = RunResult(readers=results,
+                       total_bytes=sum(r.bytes_read for r in results))
+    obs = getattr(testbed, "obs", None)
+    if obs is not None and obs.enabled:
+        if obs.registry.enabled:
+            result.metrics = obs.registry.snapshot()
+        session = active_session()
+        if session is not None:
+            session.record(obs)
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -118,12 +130,13 @@ def run_local_once(config: TestbedConfig, nreaders: int,
             return tb.fs.open(inodes[spec.name])
             yield  # pragma: no cover - makes open_fn a generator
 
-        def read_fn(handle, offset, nbytes):
-            got = yield from tb.fs.read(handle, offset, nbytes)
+        def read_fn(handle, offset, nbytes, span=None):
+            got = yield from tb.fs.read(handle, offset, nbytes, span=span)
             return got
 
         return tb.sim.spawn(
-            sequential_reader(tb.sim, open_fn, read_fn, spec.size, result),
+            sequential_reader(tb.sim, open_fn, read_fn, spec.size, result,
+                              tracer=tb.obs.tracer),
             name=f"reader:{spec.name}")
 
     return _run_readers(testbed, spawn, specs)
@@ -150,16 +163,17 @@ def run_nfs_once(config: TestbedConfig, nreaders: int,
         mount = tb.mount_for(counter["next"])
         counter["next"] += 1
 
-        def open_fn():
-            nfile = yield from mount.open(spec.name)
+        def open_fn(span=None):
+            nfile = yield from mount.open(spec.name, span=span)
             return nfile
 
-        def read_fn(handle, offset, nbytes):
-            got = yield from mount.read(handle, offset, nbytes)
+        def read_fn(handle, offset, nbytes, span=None):
+            got = yield from mount.read(handle, offset, nbytes, span=span)
             return got
 
         return tb.sim.spawn(
-            sequential_reader(tb.sim, open_fn, read_fn, spec.size, result),
+            sequential_reader(tb.sim, open_fn, read_fn, spec.size, result,
+                              tracer=tb.obs.tracer),
             name=f"reader:{spec.name}")
 
     return _run_readers(testbed, spawn, specs)
@@ -189,17 +203,18 @@ def run_faulted_once(config: TestbedConfig, nreaders: int,
         mount = tb.mount_for(counter["next"])
         counter["next"] += 1
 
-        def open_fn():
-            nfile = yield from mount.open(spec.name)
+        def open_fn(span=None):
+            nfile = yield from mount.open(spec.name, span=span)
             return nfile
 
-        def read_fn(handle, offset, nbytes):
-            got = yield from mount.read(handle, offset, nbytes)
+        def read_fn(handle, offset, nbytes, span=None):
+            got = yield from mount.read(handle, offset, nbytes, span=span)
             return got
 
         return tb.sim.spawn(
             resilient_sequential_reader(tb.sim, open_fn, read_fn,
-                                        spec.size, result),
+                                        spec.size, result,
+                                        tracer=tb.obs.tracer),
             name=f"reader:{spec.name}")
 
     base = _run_readers(testbed, spawn, specs)
@@ -207,6 +222,7 @@ def run_faulted_once(config: TestbedConfig, nreaders: int,
     return FaultRunResult(
         readers=base.readers,
         total_bytes=base.total_bytes,
+        metrics=base.metrics,
         retransmits=sum(c.retransmitted for c in testbed.rpc_clients),
         tcp_segment_retransmits=sum(
             getattr(ep, "retransmits", 0)
@@ -235,17 +251,18 @@ def run_stride_once(config: TestbedConfig, strides: int,
     testbed.server.export_file(spec.name, spec.size)
 
     def spawn(tb: NfsTestbed, spec_: FileSpec, result: ReaderResult):
-        def open_fn():
-            nfile = yield from tb.mount.open(spec_.name)
+        def open_fn(span=None):
+            nfile = yield from tb.mount.open(spec_.name, span=span)
             return nfile
 
-        def read_fn(handle, offset, nbytes):
-            got = yield from tb.mount.read(handle, offset, nbytes)
+        def read_fn(handle, offset, nbytes, span=None):
+            got = yield from tb.mount.read(handle, offset, nbytes,
+                                           span=span)
             return got
 
         return tb.sim.spawn(
             stride_reader(tb.sim, open_fn, read_fn, spec_.size, strides,
-                          result),
+                          result, tracer=tb.obs.tracer),
             name=f"stride:{spec_.name}")
 
     return _run_readers(testbed, spawn, [spec])

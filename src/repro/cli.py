@@ -6,6 +6,8 @@ Examples::
     nfstricks fig1
     nfstricks table1 --runs 10 --scale 0.125
     python -m repro fig7 --runs 5 --seed 42
+    python -m repro fig4 --trace out.json   # open out.json in Perfetto
+    python -m repro fig1 --metrics          # per-layer metrics report
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ import time
 from typing import List, Optional
 
 from .experiments import all_experiments, get
+from .obs import observe
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,6 +42,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print means only, no standard deviations")
     parser.add_argument("--plot", action="store_true",
                         help="also draw an ASCII chart of the figure")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="record spans for every simulated request "
+                             "and write Chrome trace_event JSON to FILE "
+                             "(open with Perfetto / chrome://tracing)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect the per-layer metrics registry and "
+                             "print a report after each experiment")
     return parser
 
 
@@ -51,14 +61,24 @@ def _list_experiments() -> None:
 def _run_one(experiment_id: str, args) -> None:
     experiment = get(experiment_id)
     started = time.time()
-    figure = experiment.run(scale=args.scale, runs=args.runs,
-                            seed=args.seed)
+    with observe(trace=args.trace is not None,
+                 metrics=args.metrics) as session:
+        figure = experiment.run(scale=args.scale, runs=args.runs,
+                                seed=args.seed)
     elapsed = time.time() - started
     print(figure.render(show_std=not args.no_std))
     if args.plot:
         from .stats import render_plot
         print()
         print(render_plot(figure))
+    if args.metrics:
+        print()
+        print(session.metrics_report())
+    if args.trace is not None:
+        with open(args.trace, "w") as handle:
+            handle.write(session.trace_json())
+        print(f"\ntrace: {len(session.spans)} spans -> {args.trace} "
+              f"(load in https://ui.perfetto.dev)")
     print(f"\n[{experiment.id}] scale={args.scale} runs={args.runs} "
           f"seed={args.seed} wall={elapsed:.1f}s")
     print(f"paper claim: {experiment.paper_claim}")

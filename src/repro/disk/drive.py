@@ -92,6 +92,13 @@ class DiskDrive:
         segment_sectors = max(1, cache_segment_bytes // geometry.sector_size)
         self.cache = SegmentedCache(cache_segments, segment_sectors)
         self.stats = DriveStats()
+        self._obs_on = sim.obs.enabled
+        #: TCQ residency: host submit to firmware selection.
+        self._m_tcq = sim.obs.registry.histogram("disk.tcq_wait_s")
+        #: Selection-to-completion service time.
+        self._m_service = sim.obs.registry.histogram("disk.service_s")
+        #: request id -> TCQ span while queued at the drive.
+        self._tcq_obs = {}
 
         self.current_cylinder = 0
         self._queue: List[DiskRequest] = []
@@ -117,6 +124,12 @@ class DiskDrive:
         if request.done is None:
             request.done = self.sim.event(name=f"io#{request.id}")
         request.arrival = self.sim.now
+        if self._obs_on:
+            tracer = self.sim.obs.tracer
+            if tracer.enabled:
+                self._tcq_obs[request.id] = tracer.start(
+                    "tcq", "disk.tcq", parent=request.trace_ctx,
+                    lba=request.lba)
         self.stats.arrival_order.append(request.id)
         self._queue.append(request)
         if self._wakeup is not None and not self._wakeup.triggered:
@@ -168,6 +181,21 @@ class DiskDrive:
                 self._queue, self.sim.now, self.positioning_time)
             self._busy = True
             start = self.sim.now
+            if self._obs_on:
+                self._m_tcq.observe(start - request.arrival)
+                tcq_span = self._tcq_obs.pop(request.id, None)
+                if tcq_span is not None:
+                    tcq_span.finish()
+                tracer = self.sim.obs.tracer
+                if tracer.enabled:
+                    mech_span = tracer.start(
+                        "write" if request.is_write else "read",
+                        "disk.mechanics", parent=request.trace_ctx,
+                        lba=request.lba, nsectors=request.nsectors)
+                else:
+                    mech_span = None
+            else:
+                mech_span = None
             duration = self._service(request)
             if self.faults is not None:
                 extra, reset = self.faults.service_penalty(
@@ -196,6 +224,11 @@ class DiskDrive:
             request.completion = self.sim.now
             self.stats.busy_time += self.sim.now - start
             self.stats.service_order.append(request.id)
+            if self._obs_on:
+                self._m_service.observe(self.sim.now - start)
+                if mech_span is not None:
+                    mech_span.finish(
+                        cache_hit=request.serviced_from_cache)
             request.done.succeed(request)
 
     def _service(self, request: DiskRequest) -> float:
@@ -205,6 +238,9 @@ class DiskDrive:
         nbytes = request.nsectors * geometry.sector_size
         self.stats.requests += 1
         self.stats.bytes_read += nbytes
+        zone = geometry.zone_index_of_lba(request.lba)
+        self.stats.bytes_by_zone[zone] = \
+            self.stats.bytes_by_zone.get(zone, 0) + nbytes
 
         overhead = self.command_overhead
         if request.is_write:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 _request_ids = itertools.count()
 
@@ -30,6 +30,9 @@ class DiskRequest:
     service_start: float = 0.0
     completion: float = 0.0
     serviced_from_cache: bool = False
+    #: Span id of the issuing layer's span (tracing context carried by
+    #: value; ``None`` when tracing is off).
+    trace_ctx: Optional[int] = None
 
     @property
     def end_lba(self) -> int:
@@ -58,6 +61,9 @@ class DriveStats:
     total_seek_cylinders: int = 0
     busy_time: float = 0.0
     bytes_read: int = 0
+    #: Bytes transferred per ZCAV zone (zone index -> bytes) — the
+    #: per-zone throughput breakdown the metrics registry exposes.
+    bytes_by_zone: Dict[int, int] = field(default_factory=dict)
     arrival_order: List[int] = field(default_factory=list)
     service_order: List[int] = field(default_factory=list)
 

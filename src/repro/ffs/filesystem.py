@@ -82,6 +82,8 @@ class FileSystem:
             raise ValueError("file system and cache block sizes differ")
         self.heuristic: Heuristic = heuristic or DefaultHeuristic()
         self.files = {}
+        #: Time a read spends parked on buffer-cache fill events.
+        self._m_cache_wait = sim.obs.registry.histogram("ffs.cache_wait_s")
 
     # ------------------------------------------------------------------
     # Namespace
@@ -108,24 +110,26 @@ class FileSystem:
     # Read paths
     # ------------------------------------------------------------------
 
-    def read(self, handle: FileHandle, offset: int, nbytes: int):
+    def read(self, handle: FileHandle, offset: int, nbytes: int,
+             span=None):
         """Local read (generator).  Returns bytes actually read."""
         seq_count = self.heuristic.observe(
             handle.state, offset, nbytes, self.sim.now)
         got = yield from self.read_with_seqcount(
             handle.inode, offset, nbytes, seq_count,
-            stream=handle.inode.name)
+            stream=handle.inode.name, span=span)
         handle.reads += 1
         handle.bytes_read += got
         return got
 
     def read_with_seqcount(self, inode: Inode, offset: int, nbytes: int,
-                           seq_count: int, stream: Any = None):
+                           seq_count: int, stream: Any = None, span=None):
         """Read with an externally supplied sequentiality count.
 
         Generator; returns the number of bytes read (clamped at EOF).
         Blocks the caller until the requested range is resident, and
         fires off asynchronous read-ahead according to ``seq_count``.
+        ``span`` is an optional tracing parent for the cache fetches.
         """
         if offset < 0 or nbytes <= 0:
             raise ValueError("bad read range")
@@ -139,12 +143,16 @@ class FileSystem:
 
         waits = []
         for disk_block, run in inode.map_range(first_block, demand_blocks):
-            waits.append(self.cache.read(disk_block, run, stream=stream))
+            waits.append(self.cache.read(disk_block, run, stream=stream,
+                                         parent=span))
 
-        self._issue_readahead(inode, last_block + 1, seq_count, stream)
+        self._issue_readahead(inode, last_block + 1, seq_count, stream,
+                              parent=span)
 
+        started = self.sim.now
         for wait in waits:
             yield wait
+        self._m_cache_wait.observe(self.sim.now - started)
         if self.params.read_overhead > 0:
             yield self.sim.timeout(self.params.read_overhead)
         return nbytes
@@ -180,7 +188,8 @@ class FileSystem:
         return None
 
     def _issue_readahead(self, inode: Inode, next_block: int,
-                         seq_count: int, stream: Any) -> None:
+                         seq_count: int, stream: Any,
+                         parent=None) -> None:
         """Fire-and-forget read-ahead past ``next_block``.
 
         Read-ahead is issued in cluster-aligned chunks: a chunk is sent
@@ -201,6 +210,7 @@ class FileSystem:
         cluster = self.params.cluster_blocks
         first_cluster = next_block // cluster
         last_cluster = (window_end - 1) // cluster
+        tracer = self.sim.obs.tracer
         for cluster_index in range(first_cluster, last_cluster + 1):
             start = max(cluster_index * cluster, next_block)
             end = min((cluster_index + 1) * cluster, file_blocks)
@@ -208,8 +218,17 @@ class FileSystem:
                 continue
             if self._chunk_pending(inode, start, end - start):
                 continue
+            if tracer.enabled:
+                ra_span = tracer.start("readahead", "server.readahead",
+                                       parent=parent, blocks=end - start,
+                                       seq_count=seq_count)
+            else:
+                ra_span = None
             for disk_block, run in inode.map_range(start, end - start):
-                self.cache.read(disk_block, run, stream=stream)
+                self.cache.read(disk_block, run, stream=stream,
+                                parent=ra_span)
+            if ra_span is not None:
+                ra_span.finish()
 
     def _chunk_pending(self, inode: Inode, start: int, nblocks: int
                        ) -> bool:

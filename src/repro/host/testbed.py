@@ -27,6 +27,8 @@ from ..net import (GIGABIT, Link, RpcClient, RpcServer, SERVER_PCI_DMA,
                    TcpConnection, UdpEndpoint)
 from ..nfs import (DEFAULT_NFSHEUR, IMPROVED_NFSHEUR, NfsHeurParams,
                    NfsMount, NfsMountConfig, NfsServer, NfsServerConfig)
+from ..obs import Observability
+from ..obs.session import active_session
 from ..readahead import Heuristic, make_heuristic
 from ..sim import RandomStreams, RateLimiter, Simulator
 from .machine import Machine
@@ -85,6 +87,13 @@ class TestbedConfig:
     #: Soft-mount retransmission budget (``retrans``; mount_nfs's
     #: classic default).
     mount_retrans: int = 4
+    #: Enable span tracing / the metrics registry for this testbed.
+    #: Both default off; an active CLI observability session
+    #: (:func:`repro.obs.observe`) turns them on without touching the
+    #: experiment code.  By the no-perturbation invariant neither flag
+    #: changes any simulated result.
+    trace: bool = False
+    metrics: bool = False
     #: Server duplicate-request cache entries (0 disables it).  Sized to
     #: cover every request the server can complete inside one
     #: retransmission window (~1 s at ~1000 ops/s), so a retransmitted
@@ -118,7 +127,12 @@ class LocalTestbed:
         if not 1 <= config.partition <= 4:
             raise ValueError("partition must be 1..4")
         self.config = config
-        self.sim = Simulator()
+        session = active_session()
+        self.obs = Observability(
+            trace=config.trace or (session is not None and session.trace),
+            metrics=config.metrics or (session is not None
+                                       and session.metrics))
+        self.sim = Simulator(obs=self.obs)
         self.streams = RandomStreams(config.seed)
         #: Built once per run so every injector draws from its own
         #: seed-derived stream (deterministic replay).
@@ -151,6 +165,44 @@ class LocalTestbed:
             fragmentation=config.fragmentation,
             rng=self.streams.stream("allocator"))
         self.fs = FileSystem(self.sim, self.cache, allocator)
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Expose the stack's state as pull-style gauges.
+
+        Gauges only *read* simulation state at snapshot time, so
+        registration is free with respect to the no-perturbation
+        invariant; when metrics are off this whole block is a no-op
+        against the null registry.
+        """
+        registry = self.obs.registry
+        if not registry.enabled:
+            return
+        sim = self.sim
+        iosched, drive, cache = self.iosched, self.drive, self.cache
+        registry.gauge("kernel.bufq.depth", lambda: float(iosched.queued))
+        registry.gauge("kernel.cache.hit_rate",
+                       lambda: cache.stats.hit_rate)
+        registry.gauge("disk.queue.outstanding",
+                       lambda: float(drive.outstanding))
+        registry.gauge("disk.cache.hit_rate",
+                       lambda: drive.stats.cache_hit_fraction)
+        registry.gauge("disk.reorder_fraction",
+                       lambda: drive.stats.reorder_fraction)
+        registry.gauge("disk.busy_s", lambda: drive.stats.busy_time)
+        registry.gauge("host.server.cpu_s",
+                       lambda: self.machine.cpu_time_consumed)
+        # Per-zone throughput: the ZCAV breakdown of §5.1, computed from
+        # the always-on byte counters the drive keeps.
+        for index in range(len(drive.geometry.zones)):
+            registry.gauge(
+                f"disk.zone{index}.bytes_read",
+                lambda z=index: float(drive.stats.bytes_by_zone.get(z, 0)))
+            registry.gauge(
+                f"disk.zone{index}.mb_s",
+                lambda z=index: (
+                    drive.stats.bytes_by_zone.get(z, 0) / sim.now / 1e6
+                    if sim.now > 0 else 0.0))
 
     def flush_caches(self) -> None:
         """The §4.3.1 cache-defeat protocol, in one call."""
@@ -224,6 +276,43 @@ class NfsTestbed(LocalTestbed):
         # Single-client conveniences (the common case).
         self.client_machine = self.client_machines[0]
         self.mount = self.mounts[0]
+        self._register_nfs_gauges()
+
+    def _register_nfs_gauges(self) -> None:
+        """NFS-path gauges: daemon pools plus the fault counters that
+        :mod:`repro.faults` and the transports already keep."""
+        registry = self.obs.registry
+        if not registry.enabled:
+            return
+        server = self.server
+        mounts, rpc_clients = self.mounts, self.rpc_clients
+        rpc_servers, endpoints = self.rpc_servers, self.transport_endpoints
+        registry.gauge("nfs.server.nfsd_busy",
+                       lambda: float(server.nfsds.in_use))
+        registry.gauge("nfs.server.nfsd_queued",
+                       lambda: float(server.nfsds.queued))
+        registry.gauge("nfs.server.mean_seqcount",
+                       lambda: server.stats.mean_seqcount)
+        registry.gauge(
+            "nfs.client.nfsiod_busy",
+            lambda: float(sum(m.nfsiods.in_use for m in mounts)))
+        registry.gauge(
+            "rpc.client.retransmits",
+            lambda: float(sum(c.retransmitted for c in rpc_clients)))
+        registry.gauge(
+            "rpc.client.timeouts",
+            lambda: float(sum(c.timeouts for c in rpc_clients)))
+        registry.gauge(
+            "rpc.server.dupreq_hits",
+            lambda: float(sum(s.dupreq_hits for s in rpc_servers)))
+        registry.gauge(
+            "net.udp.datagrams_lost",
+            lambda: float(sum(getattr(ep, "datagrams_lost", 0)
+                              for ep in endpoints)))
+        registry.gauge(
+            "net.tcp.segment_retransmits",
+            lambda: float(sum(getattr(ep, "retransmits", 0)
+                              for ep in endpoints)))
 
     def _rpc_policy(self, config: TestbedConfig, index: int,
                     needs_timer: bool) -> dict:

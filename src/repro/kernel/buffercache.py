@@ -79,6 +79,9 @@ class BufferCache:
         #: Write-behind high-water mark, in blocks.
         self.writeback_threshold = 512
         self.stats = CacheStats()
+        self._obs_on = sim.obs.enabled
+        #: Miss fetch time, submit-to-fill.
+        self._m_fetch = sim.obs.registry.histogram("kernel.cache.fetch_s")
 
     # ------------------------------------------------------------------
 
@@ -116,11 +119,12 @@ class BufferCache:
     # ------------------------------------------------------------------
 
     def read(self, start_blkno: int, nblocks: int,
-             stream: Any = None) -> Event:
+             stream: Any = None, parent=None) -> Event:
         """Ensure blocks are resident; the event fires when all are.
 
         Misses are coalesced into contiguous disk requests.  The caller
         may ignore the returned event to get fire-and-forget read-ahead.
+        ``parent`` is an optional tracing parent for the fetch spans.
         """
         if nblocks < 1:
             raise ValueError("must read at least one block")
@@ -132,19 +136,19 @@ class BufferCache:
             if entry is not None and entry.state == _Entry.READY:
                 self.stats.hits += 1
                 self._entries.move_to_end(blkno)
-                self._flush_run(run_start, run_len, waits, stream)
+                self._flush_run(run_start, run_len, waits, stream, parent)
                 run_start, run_len = None, 0
             elif entry is not None:
                 self.stats.waits_on_inflight += 1
                 waits.append(entry.event)
-                self._flush_run(run_start, run_len, waits, stream)
+                self._flush_run(run_start, run_len, waits, stream, parent)
                 run_start, run_len = None, 0
             else:
                 self.stats.misses += 1
                 if run_start is None:
                     run_start = blkno
                 run_len += 1
-        self._flush_run(run_start, run_len, waits, stream)
+        self._flush_run(run_start, run_len, waits, stream, parent)
 
         if not waits:
             done = self.sim.event(name="cache.read")
@@ -155,13 +159,16 @@ class BufferCache:
         return self.sim.all_of(waits)
 
     def _flush_run(self, run_start: Optional[int], run_len: int,
-                   waits: List[Event], stream: Any) -> None:
+                   waits: List[Event], stream: Any,
+                   parent=None) -> None:
         if run_start is None or run_len == 0:
             return
         request = DiskRequest(
             lba=run_start * self.sectors_per_block,
             nsectors=run_len * self.sectors_per_block,
             stream=stream)
+        if self._obs_on:
+            self._observe_io(request, "fetch", parent)
         done = self.iosched.submit(request)
         self.stats.disk_reads_issued += 1
         self.stats.blocks_fetched += run_len
@@ -170,6 +177,36 @@ class BufferCache:
         done.add_callback(
             lambda _ev, s=run_start, n=run_len: self._fill(s, n))
         waits.append(done)
+
+    def _observe_io(self, request: DiskRequest, name: str,
+                    parent=None) -> None:
+        """Open a cache-level span + fetch timer for one disk request.
+
+        Must run before the request is submitted so the scheduler and
+        drive see ``trace_ctx``.  The span is detached: a read-ahead
+        fill outlives the (instant) read-ahead span that requested it.
+        """
+        if request.done is None:
+            # The same event the scheduler would create on submit;
+            # constructing it early schedules nothing, so this cannot
+            # perturb the simulation.
+            request.done = self.sim.event(name=f"io#{request.id}")
+        tracer = self.sim.obs.tracer
+        if tracer.enabled:
+            span = tracer.start(name, "kernel.buffercache", parent=parent,
+                                detached=True, lba=request.lba,
+                                nsectors=request.nsectors)
+            request.trace_ctx = span.id
+        else:
+            span = None
+        started = self.sim.now
+        request.done.add_callback(
+            lambda _ev: self._finish_io(span, started))
+
+    def _finish_io(self, span, started: float) -> None:
+        self._m_fetch.observe(self.sim.now - started)
+        if span is not None:
+            span.finish()
 
     def _fill(self, start_blkno: int, nblocks: int) -> None:
         for blkno in range(start_blkno, start_blkno + nblocks):
@@ -237,6 +274,8 @@ class BufferCache:
                 lba=run_start * self.sectors_per_block,
                 nsectors=nblocks * self.sectors_per_block,
                 is_write=True)
+            if self._obs_on:
+                self._observe_io(request, "writeback")
             done = self.iosched.submit(request)
             self._writebacks.append(done)
             self.stats.disk_writes_issued += 1

@@ -42,6 +42,11 @@ class DiskIoScheduler:
         self._in_flight = 0
         self.dispatched = 0
         self._pump_scheduled = False
+        self._obs_on = sim.obs.enabled
+        #: Queue residency, insert-to-dispatch.
+        self._m_wait = sim.obs.registry.histogram("kernel.bufq.wait_s")
+        #: request id -> (span, insert time) while queued.
+        self._pending_obs = {}
 
     # ------------------------------------------------------------------
 
@@ -66,6 +71,15 @@ class DiskIoScheduler:
         """Queue a request; returns its completion event."""
         if request.done is None:
             request.done = self.sim.event(name=f"io#{request.id}")
+        if self._obs_on:
+            tracer = self.sim.obs.tracer
+            if tracer.enabled:
+                span = tracer.start("bufq", "kernel.bufq",
+                                    parent=request.trace_ctx,
+                                    lba=request.lba)
+            else:
+                span = None
+            self._pending_obs[request.id] = (span, self.sim.now)
         self._bufq.insert(request)
         self._pump()
         return request.done
@@ -76,6 +90,13 @@ class DiskIoScheduler:
             request = self._bufq.next()
             if request is None:
                 break
+            if self._obs_on:
+                span, inserted = self._pending_obs.pop(
+                    request.id, (None, None))
+                if inserted is not None:
+                    self._m_wait.observe(self.sim.now - inserted)
+                if span is not None:
+                    span.finish()
             self._in_flight += 1
             self.dispatched += 1
             request.done.add_callback(self._on_complete)

@@ -22,6 +22,7 @@ FreeBSD-era RPC code actually does under failure:
 
 from __future__ import annotations
 
+import inspect
 import itertools
 import random
 from collections import OrderedDict
@@ -67,6 +68,9 @@ class RpcMessage:
     is_reply: bool = False
     #: Originating client name — the dupreq-cache key's first half.
     client: str = ""
+    #: Span id of the client-side call span (carries trace context to
+    #: the server by value; ``None`` when tracing is off).
+    trace_ctx: Optional[int] = None
 
 
 class RpcClient:
@@ -127,19 +131,32 @@ class RpcClient:
     def pending_calls(self) -> int:
         return len(self._pending)
 
-    def call(self, body: Any, payload_bytes: int) -> Event:
+    def call(self, body: Any, payload_bytes: int, parent=None) -> Event:
         """Send a call; the returned event fires with the reply body.
 
         On retransmission-budget exhaustion the event *fails* with
         :class:`RpcTimeout` instead — a waiting process sees it raised
-        at its ``yield``.
+        at its ``yield``.  ``parent`` is an optional tracing span the
+        call span nests under.
         """
         xid = next(self._xids)
         reply = self.sim.event(name=f"{self.name}.xid{xid}")
         self._pending[xid] = reply
         self.calls += 1
+        tracer = self.sim.obs.tracer
+        trace_ctx = None
+        if tracer.enabled:
+            span = tracer.start(f"call:{type(body).__name__}", "net.rpc",
+                                parent=parent, xid=xid)
+            trace_ctx = span.id
+            # The reply event fires exactly once (success or RpcTimeout
+            # failure); its callbacks run synchronously when processed,
+            # so finishing the span there records the observed RTT
+            # without touching simulation state.
+            reply.add_callback(
+                lambda ev: span.finish(ok=ev.error is None))
         message = RpcMessage(xid, body, payload_bytes + RPC_CALL_HEADER,
-                             client=self.name)
+                             client=self.name, trace_ctx=trace_ctx)
         self.out.send(message, message.payload_bytes)
         if self.retransmit_timeout is not None:
             self.sim.spawn(self._watchdog(message, reply),
@@ -218,10 +235,20 @@ class RpcServer:
         self._dupreq: "OrderedDict[Tuple[str, int], Any]" = OrderedDict()
         self._track_duplicates = track_duplicates
         self._executed_keys: set = set()
+        self._handler_takes_span = False
+        self._m_handle = sim.obs.registry.histogram("rpc.server.handle_s")
         in_transport.bind(self._on_request)
 
     def serve(self, handler) -> None:
         self.handler = handler
+        # Handlers that accept a ``span`` keyword get the serve span for
+        # parenting their own instrumentation (same duck-typed probing
+        # the NFS server uses for its observe callbacks).
+        try:
+            parameters = inspect.signature(handler).parameters
+        except (TypeError, ValueError):
+            parameters = {}
+        self._handler_takes_span = "span" in parameters
 
     def _on_request(self, message: RpcMessage) -> None:
         if self.handler is None:
@@ -253,7 +280,21 @@ class RpcServer:
                        name=f"{self.name}.req{message.xid}")
 
     def _handle(self, message: RpcMessage):
-        result = yield from self.handler(message.body)
+        # The spawned process bootstraps at zero delay, so ``now`` here
+        # is still the request's arrival time at the server.
+        arrived = self.sim.now
+        tracer = self.sim.obs.tracer
+        if tracer.enabled:
+            span = tracer.start(f"serve:{type(message.body).__name__}",
+                                "net.rpc", parent=message.trace_ctx,
+                                detached=True, xid=message.xid)
+        else:
+            span = None
+        if self._handler_takes_span:
+            result = yield from self.handler(message.body, span=span)
+        else:
+            result = yield from self.handler(message.body)
+        self._m_handle.observe(self.sim.now - arrived)
         key = (message.client, message.xid)
         if result is None:
             # The handler dropped the request (server down): no reply,
@@ -263,6 +304,8 @@ class RpcServer:
             self._dupreq.pop(key, None)
             if self._track_duplicates:
                 self._executed_keys.discard(key)
+            if span is not None:
+                span.finish(dropped=True)
             return None
         body, payload_bytes = result
         reply = RpcMessage(message.xid, body,
@@ -273,6 +316,8 @@ class RpcServer:
             self._dupreq.move_to_end(key)
             self._trim_dupreq()
         self.out.send(reply, reply.payload_bytes)
+        if span is not None:
+            span.finish()
         return None
 
     def _trim_dupreq(self) -> None:

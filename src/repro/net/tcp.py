@@ -69,6 +69,7 @@ class TcpConnection:
         self._window_waiters: deque = deque()
         self.messages_sent = 0
         self.retransmits = 0
+        self._m_wire = sim.obs.registry.histogram("net.wire_s")
         sim.spawn(self._sender(), name=f"{name}.sender")
 
     def bind(self, receiver: Callable[[Any], None]) -> None:
@@ -76,13 +77,13 @@ class TcpConnection:
 
     def send(self, message: Any, payload_bytes: int) -> None:
         """Write a message to the stream (fire-and-forget, ordered)."""
-        self._sendq.put((message, payload_bytes))
+        self._sendq.put((message, payload_bytes, self.sim.now))
 
     # ------------------------------------------------------------------
 
     def _sender(self):
         while True:
-            message, payload = yield self._sendq.get()
+            message, payload, enqueued = yield self._sendq.get()
             plan = plan_tcp_stream(payload)
             yield from self._reserve_window(min(plan.wire_bytes,
                                                 self.window))
@@ -115,6 +116,9 @@ class TcpConnection:
             self.messages_sent += 1
             if self._receiver is None:
                 raise RuntimeError(f"{self.name}: no receiver bound")
+            # Stream residency: write-to-delivery, including sendq and
+            # window waits — the transport latency an RPC actually sees.
+            self._m_wire.observe(self.sim.now - enqueued)
             self._receiver(message)
             self.sim.spawn(
                 self._release_window_later(min(plan.wire_bytes,

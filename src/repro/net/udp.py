@@ -57,6 +57,8 @@ class UdpEndpoint:
         self.datagrams_sent = 0
         self.datagrams_lost = 0
         self.datagrams_duplicated = 0
+        self._metrics_on = sim.obs.registry.enabled
+        self._m_wire = sim.obs.registry.histogram("net.wire_s")
 
     def bind(self, receiver: Callable[[Any], None]) -> None:
         """Set the function invoked (at delivery time) per datagram."""
@@ -87,6 +89,8 @@ class UdpEndpoint:
             delivery = self.tx_link.send(plan.wire_bytes)
             delivery.add_callback(
                 lambda _ev, m=message: self._peer._deliver(m))
+            if self._metrics_on:
+                self._observe_delivery(delivery)
             if fate == DUPLICATE:
                 self.datagrams_duplicated += 1
                 dup = self.tx_link.send(plan.wire_bytes)
@@ -102,6 +106,14 @@ class UdpEndpoint:
         delivery = self.tx_link.send(plan.wire_bytes)
         delivery.add_callback(
             lambda _ev, m=message: self._peer._deliver(m))
+        if self._metrics_on:
+            self._observe_delivery(delivery)
+
+    def _observe_delivery(self, delivery) -> None:
+        """Record send-to-delivery wire time for a surviving datagram."""
+        t0 = self.sim.now
+        delivery.add_callback(
+            lambda _ev: self._m_wire.observe(self.sim.now - t0))
 
     _peer: Optional["UdpEndpoint"] = None
 

@@ -85,12 +85,15 @@ class NfsMountStats:
 class NfsFile:
     """A file as seen through the mount: handle, size, heuristic state."""
 
-    __slots__ = ("fh", "size", "state")
+    __slots__ = ("fh", "size", "state", "name")
 
-    def __init__(self, fh: FileHandle, size: int):
+    def __init__(self, fh: FileHandle, size: int, name: str = ""):
         self.fh = fh
         self.size = size
         self.state = ReadState()
+        #: The looked-up name (tracing label; run-stable, unlike the
+        #: process-global inode numbers behind ``fh.id``).
+        self.name = name
 
 
 class NfsMount:
@@ -111,6 +114,15 @@ class NfsMount:
         self.name = name
         self.nfsiods = Resource(sim, capacity=self.config.nfsiod_count)
         self.stats = NfsMountStats()
+        registry = sim.obs.registry
+        #: Client CPU elapsed (marshal/receive, incl. queueing + jitter).
+        self._m_cpu = registry.histogram("nfs.client.cpu_s")
+        #: Foreground wait for a block's RPC round trip.
+        self._m_block_wait = registry.histogram("nfs.client.block_wait_s")
+        #: Foreground wait for a block an nfsiod already has in flight.
+        self._m_nfsiod_wait = registry.histogram("nfs.client.nfsiod_wait_s")
+        #: Per-operation RPC round-trip time, lazily keyed by op name.
+        self._m_rtt: Dict[str, object] = {}
         #: (fh.id, block#) -> "ready" or the in-flight completion Event.
         self._cache: Dict[Tuple[int, int], Union[str, Event]] = {}
         #: Per-file issue counters (stamped onto requests so the server
@@ -125,7 +137,7 @@ class NfsMount:
         self._cache = {key: value for key, value in self._cache.items()
                        if value != "ready"}
 
-    def _call(self, request):
+    def _call(self, request, parent=None):
         """One RPC round trip (generator; returns the reply).
 
         A terminal :class:`~repro.net.rpc.RpcTimeout` — which only a
@@ -133,28 +145,38 @@ class NfsMount:
         converted to :class:`NfsTimeoutError` (``ETIMEDOUT``), which is
         what the application sees from the syscall.
         """
+        op = type(request).__name__
+        rtt = self._m_rtt.get(op)
+        if rtt is None:
+            rtt = self._m_rtt[op] = self.sim.obs.registry.histogram(
+                f"nfs.client.rtt_s.{op}")
+        started = self.sim.now
         try:
-            reply = yield self.rpc.call(request, request.payload_bytes)
+            reply = yield self.rpc.call(request, request.payload_bytes,
+                                        parent=parent)
         except RpcTimeout as exc:
             self.stats.timeouts += 1
             raise NfsTimeoutError(f"{self.name}: {exc}") from exc
+        rtt.observe(self.sim.now - started)
         return reply
 
-    def open(self, name: str):
+    def open(self, name: str, span=None):
         """LOOKUP a file (generator; returns an :class:`NfsFile`)."""
+        started = self.sim.now
         yield from self.machine.execute(self.config.marshal_cpu)
+        self._m_cpu.observe(self.sim.now - started)
         request = LookupRequest(name)
-        reply = yield from self._call(request)
+        reply = yield from self._call(request, parent=span)
         if not isinstance(reply, LookupReply):
             raise TypeError(f"bad LOOKUP reply {reply!r}")
-        return NfsFile(reply.fh, reply.size)
+        return NfsFile(reply.fh, reply.size, name=name)
 
-    def read(self, nfile: NfsFile, offset: int, nbytes: int):
+    def read(self, nfile: NfsFile, offset: int, nbytes: int, span=None):
         """Application read (generator; returns bytes read).
 
         Reads are performed block by block, as the real client's buffer
         layer does; the heuristic observes the application's pattern and
-        gates read-ahead.
+        gates read-ahead.  ``span`` is an optional tracing parent.
         """
         if offset < 0 or nbytes <= 0:
             raise ValueError("bad read range")
@@ -164,15 +186,36 @@ class NfsMount:
         bs = self.config.read_size
         first = offset // bs
         last = (offset + nbytes - 1) // bs
+        tracer = self.sim.obs.tracer
         for block in range(first, last + 1):
             seq_count = self.heuristic.observe(
                 nfile.state, block * bs, bs, self.sim.now)
-            self._issue_readahead(nfile, block + 1, seq_count)
-            yield from self._ensure_block(nfile, block, sync=True)
+            self._issue_readahead(nfile, block + 1, seq_count,
+                                  parent=span)
+            if tracer.enabled:
+                blk_span = tracer.start("bioread", "client.vnode",
+                                        parent=span, file=nfile.name,
+                                        block=block)
+            else:
+                blk_span = None
+            started = self.sim.now
+            try:
+                yield from self._ensure_block(nfile, block, sync=True,
+                                              parent=blk_span)
+            except OSError:
+                # Soft-mount timeout: the span must still be closed, or
+                # the RPC call spans beneath it become orphans in the
+                # finished-span stream.
+                if blk_span is not None:
+                    blk_span.finish(error=True)
+                raise
+            self._m_block_wait.observe(self.sim.now - started)
+            if blk_span is not None:
+                blk_span.finish()
             self.stats.reads += 1
         return nbytes
 
-    def write(self, nfile: NfsFile, offset: int, nbytes: int):
+    def write(self, nfile: NfsFile, offset: int, nbytes: int, span=None):
         """Application write (generator; returns bytes written).
 
         Writes are *write-behind*: each block's WRITE RPC is handed to
@@ -193,34 +236,41 @@ class NfsMount:
             self.stats.writes += 1
             self._cache[(nfile.fh.id, block)] = "ready"
             if self.nfsiods.try_acquire():
-                self.sim.spawn(self._nfsiod_write(nfile, block),
+                self.sim.spawn(self._nfsiod_write(nfile, block,
+                                                  parent=span),
                                name=f"{self.name}.nfsiod-w")
             else:
-                yield from self._write_block(nfile, block)
+                yield from self._write_block(nfile, block, parent=span)
         return nbytes
 
-    def commit(self, nfile: NfsFile):
+    def commit(self, nfile: NfsFile, span=None):
         """COMMIT: flush unstable server-side writes (generator)."""
+        started = self.sim.now
         yield from self.machine.execute(self.config.marshal_cpu)
+        self._m_cpu.observe(self.sim.now - started)
         request = CommitRequest(fh=nfile.fh)
-        reply = yield from self._call(request)
+        reply = yield from self._call(request, parent=span)
         if not isinstance(reply, CommitReply):
             raise TypeError(f"bad COMMIT reply {reply!r}")
         self.stats.commits += 1
         return None
 
-    def _nfsiod_write(self, nfile: NfsFile, block: int):
+    def _nfsiod_write(self, nfile: NfsFile, block: int, parent=None):
+        span = self.sim.obs.tracer.start(
+            "nfsiod.write", "client.nfsiod", parent=parent,
+            detached=True, block=block)
         try:
-            yield from self._write_block(nfile, block)
+            yield from self._write_block(nfile, block, parent=span)
         except NfsTimeoutError:
             # Write-behind failure: the real client reports it at the
             # next write or close; here it is visible in stats.timeouts.
             pass
         finally:
             self.nfsiods.release()
+            span.finish()
         return None
 
-    def _write_block(self, nfile: NfsFile, block: int):
+    def _write_block(self, nfile: NfsFile, block: int, parent=None):
         config = self.config
         bs = config.read_size
         offset = block * bs
@@ -229,25 +279,29 @@ class NfsMount:
         self._issue_seq[nfile.fh.id] = seq + 1
         request = WriteRequest(fh=nfile.fh, offset=offset, count=count,
                                seq=seq)
+        started = self.sim.now
         if config.transport == "udp":
             yield from self.machine.execute(config.marshal_cpu,
                                             jitter=True)
         else:
             yield from self.machine.execute(
                 config.marshal_cpu + config.tcp_extra_cpu)
-        reply = yield from self._call(request)
+        self._m_cpu.observe(self.sim.now - started)
+        reply = yield from self._call(request, parent=parent)
         if not isinstance(reply, WriteReply):
             raise TypeError(f"bad WRITE reply {reply!r}")
         self.stats.rpc_writes += 1
         return None
 
-    def getattr(self, nfile: NfsFile):
+    def getattr(self, nfile: NfsFile, span=None):
         """GETATTR round trip (generator) — metadata traffic for mixed
         workloads."""
         from .protocol import GetattrReply, GetattrRequest
+        started = self.sim.now
         yield from self.machine.execute(self.config.marshal_cpu)
+        self._m_cpu.observe(self.sim.now - started)
         request = GetattrRequest(fh=nfile.fh)
-        reply = yield from self._call(request)
+        reply = yield from self._call(request, parent=span)
         if not isinstance(reply, GetattrReply):
             raise TypeError(f"bad GETATTR reply {reply!r}")
         return reply.size
@@ -258,7 +312,7 @@ class NfsMount:
         return -(-nfile.size // self.config.read_size)
 
     def _issue_readahead(self, nfile: NfsFile, next_block: int,
-                         seq_count: int) -> None:
+                         seq_count: int, parent=None) -> None:
         depth = readahead_blocks(seq_count, self.config.readahead_blocks)
         if depth <= 0:
             return
@@ -271,13 +325,17 @@ class NfsMount:
                 self.stats.readahead_skipped_busy += 1
                 break
             self.stats.readahead_issued += 1
-            self.sim.spawn(self._nfsiod_fetch(nfile, block),
+            self.sim.spawn(self._nfsiod_fetch(nfile, block,
+                                              parent=parent),
                            name=f"{self.name}.nfsiod")
 
-    def _nfsiod_fetch(self, nfile: NfsFile, block: int):
+    def _nfsiod_fetch(self, nfile: NfsFile, block: int, parent=None):
         """An nfsiod carrying one asynchronous READ (holds the daemon)."""
+        span = self.sim.obs.tracer.start(
+            "nfsiod.read", "client.nfsiod", parent=parent,
+            detached=True, block=block)
         try:
-            yield from self._fetch_block(nfile, block)
+            yield from self._fetch_block(nfile, block, parent=span)
         except NfsTimeoutError:
             # Read-ahead is best effort: the miss surfaces (and is
             # retried, or reported) when a foreground read needs the
@@ -285,21 +343,25 @@ class NfsMount:
             pass
         finally:
             self.nfsiods.release()
+            span.finish()
         return None
 
-    def _ensure_block(self, nfile: NfsFile, block: int, sync: bool):
+    def _ensure_block(self, nfile: NfsFile, block: int, sync: bool,
+                      parent=None):
         key = (nfile.fh.id, block)
         entry = self._cache.get(key)
         if entry == "ready":
             self.stats.cache_hits += 1
             return None
         if isinstance(entry, Event):
+            started = self.sim.now
             yield entry
+            self._m_nfsiod_wait.observe(self.sim.now - started)
             return None
-        yield from self._fetch_block(nfile, block)
+        yield from self._fetch_block(nfile, block, parent=parent)
         return None
 
-    def _fetch_block(self, nfile: NfsFile, block: int):
+    def _fetch_block(self, nfile: NfsFile, block: int, parent=None):
         """Marshal, send, await, and cache one READ (generator)."""
         key = (nfile.fh.id, block)
         done = self.sim.event(name=f"{self.name}.blk{block}")
@@ -313,6 +375,7 @@ class NfsMount:
         request = ReadRequest(fh=nfile.fh, offset=offset, count=count,
                               seq=seq)
 
+        started = self.sim.now
         if config.transport == "udp":
             # Each daemon sends its own datagram: the race to the wire
             # is real, so marshalling carries scheduling jitter.
@@ -323,9 +386,10 @@ class NfsMount:
             # dequeue and the stream preserves order end to end.
             yield from self.machine.execute(
                 config.marshal_cpu + config.tcp_extra_cpu)
+        self._m_cpu.observe(self.sim.now - started)
 
         try:
-            reply = yield from self._call(request)
+            reply = yield from self._call(request, parent=parent)
         except NfsTimeoutError as exc:
             # The block never arrived: evict the placeholder so a later
             # read retries it, and fail co-waiters parked on the event.
@@ -335,7 +399,9 @@ class NfsMount:
         if not isinstance(reply, ReadReply):
             raise TypeError(f"bad READ reply {reply!r}")
         extra = config.tcp_extra_cpu if config.transport == "tcp" else 0.0
+        started = self.sim.now
         yield from self.machine.execute(config.receive_cpu + extra)
+        self._m_cpu.observe(self.sim.now - started)
         self.stats.rpc_reads += 1
         self._cache[key] = "ready"
         done.succeed()

@@ -95,6 +95,15 @@ class NfsServer:
         self.nfsheur = NfsHeurTable(self.config.nfsheur_params)
         self.nfsds = Resource(sim, capacity=self.config.nfsd_count)
         self.stats = NfsServerStats()
+        registry = sim.obs.registry
+        #: Wait for a free nfsd daemon.
+        self._m_wait = registry.histogram("nfs.server.nfsd_wait_s")
+        #: Server CPU elapsed inside READ handling (incl. queueing).
+        self._m_cpu = registry.histogram("nfs.server.cpu_s")
+        #: FFS read path elapsed (cache waits + read overhead).
+        self._m_fsread = registry.histogram("nfs.server.fsread_s")
+        #: Per-operation service time (acquire-to-reply), lazily keyed.
+        self._m_service: Dict[str, object] = {}
         #: Arrival trace (populated when config.record_trace is set).
         self.trace = []
         self._by_fh: Dict[FileHandle, Inode] = {}
@@ -146,22 +155,37 @@ class NfsServer:
 
     # ------------------------------------------------------------------
 
-    def handle(self, request):
+    def handle(self, request, span=None):
         """RPC dispatch (generator; returns (reply, payload_bytes)).
 
         Returns ``None`` — no reply at all — while the server is down;
         the RPC layer treats that as a dropped request and the client's
-        retransmission timer does the rest.
+        retransmission timer does the rest.  ``span`` is the RPC serve
+        span (passed by the RPC layer when tracing is on).
         """
         if self.sim.now < self._down_until:
             self.stats.dropped_requests += 1
             return None
         if self.sim.now < self._stall_until:
             yield self.sim.timeout(self._stall_until - self.sim.now)
+        op = type(request).__name__
+        service = self._m_service.get(op)
+        if service is None:
+            service = self._m_service[op] = \
+                self.sim.obs.registry.histogram(f"nfs.server.service_s.{op}")
+        queued = self.sim.now
         yield self.nfsds.acquire()
+        self._m_wait.observe(self.sim.now - queued)
+        tracer = self.sim.obs.tracer
+        if tracer.enabled:
+            nfsd_span = tracer.start(f"nfsd:{op}", "server.nfsd",
+                                     parent=span)
+        else:
+            nfsd_span = None
+        started = self.sim.now
         try:
             if isinstance(request, ReadRequest):
-                reply = yield from self._read(request)
+                reply = yield from self._read(request, span=nfsd_span)
             elif isinstance(request, WriteRequest):
                 reply = yield from self._write(request)
             elif isinstance(request, CommitRequest):
@@ -174,16 +198,21 @@ class NfsServer:
                 raise TypeError(f"unsupported NFS request {request!r}")
         finally:
             self.nfsds.release()
+            service.observe(self.sim.now - started)
+            if nfsd_span is not None:
+                nfsd_span.finish()
         return reply, reply.payload_bytes
 
-    def _read(self, request: ReadRequest):
+    def _read(self, request: ReadRequest, span=None):
         config = self.config
         if config.record_trace:
             from ..trace import TraceRecord
             self.trace.append(TraceRecord(
                 time=self.sim.now, fh=request.fh, offset=request.offset,
                 count=request.count, client_seq=request.seq))
+        started = self.sim.now
         yield from self.machine.execute(config.cpu_per_call / 2)
+        self._m_cpu.observe(self.sim.now - started)
         inode = self._by_fh[request.fh]
         state = self.nfsheur.lookup(request.fh, request.offset)
         if self._observe_takes_fh:
@@ -194,11 +223,21 @@ class NfsServer:
             seq_count = self.heuristic.observe(
                 state, request.offset, request.count, self.sim.now)
         self.stats.seqcount_total += seq_count
+        tracer = self.sim.obs.tracer
+        if tracer.enabled:
+            heur_span = tracer.start("nfsheur", "server.readahead",
+                                     parent=span, file=inode.name,
+                                     seq_count=seq_count)
+            heur_span.finish()
+        started = self.sim.now
         got = yield from self.fs.read_with_seqcount(
             inode, request.offset, request.count, seq_count,
-            stream=request.fh)
+            stream=request.fh, span=span)
+        self._m_fsread.observe(self.sim.now - started)
+        started = self.sim.now
         yield from self.machine.execute(
             config.cpu_per_call / 2 + got * config.cpu_per_byte)
+        self._m_cpu.observe(self.sim.now - started)
         self.stats.reads += 1
         self.stats.bytes_served += got
         eof = request.offset + got >= inode.size

@@ -1,0 +1,36 @@
+"""The per-simulator observability handle.
+
+An :class:`Observability` bundles one :class:`~repro.obs.span.SpanTracer`
+and one :class:`~repro.obs.metrics.MetricsRegistry`; every testbed owns
+one and passes it to its :class:`~repro.sim.Simulator`, which binds the
+tracer to the simulation clock.  With both features off (the default),
+the bundle is the shared :data:`NULL_OBS` null object: the same
+attribute accesses work, every call is a no-op, and the simulation is
+bit-identical to an uninstrumented one.
+"""
+
+from __future__ import annotations
+
+from .metrics import NULL_REGISTRY, MetricsRegistry
+from .span import NULL_TRACER, SpanTracer
+
+
+class Observability:
+    """Tracer + registry for one simulator/testbed."""
+
+    def __init__(self, trace: bool = False, metrics: bool = False):
+        self.tracer = SpanTracer() if trace else NULL_TRACER
+        self.registry = MetricsRegistry() if metrics else NULL_REGISTRY
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.registry.enabled
+
+    def bind(self, sim) -> None:
+        """Point the tracer's clock at ``sim.now`` (no-op when off)."""
+        if self.tracer.enabled:
+            self.tracer.bind_clock(lambda: sim.now)
+
+
+#: Shared all-off bundle; the default for every Simulator.
+NULL_OBS = Observability()

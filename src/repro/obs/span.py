@@ -1,0 +1,235 @@
+"""Spans: following one logical NFS request across the simulated stack.
+
+A :class:`Span` is a named interval of simulation time with a category
+(the layer that produced it), an optional parent, and free-form args.
+The :class:`SpanTracer` hands them out and collects them as they
+finish, so a single client read can be followed from the benchmark
+reader through the vnode layer, the nfsiod pool, the RPC transport,
+the nfsd pool, nfsheur/read-ahead, the buffer cache, the bufq, the
+drive's tagged command queue, and finally the disk mechanics.
+
+The tracer obeys the same two rules as the metrics registry:
+
+* **No perturbation.**  Starting or finishing a span reads the
+  simulation clock and appends to a list.  It never draws randomness,
+  never creates or schedules events, and never blocks a process, so a
+  traced run is bit-identical to an untraced one.
+* **Zero cost when disabled.**  :data:`NULL_TRACER` returns the shared
+  :data:`NULL_SPAN` from ``start()`` and ignores ``finish()``.  Hot
+  paths additionally guard on ``tracer.enabled`` so they skip even the
+  argument construction.
+
+Parent context crosses layer boundaries two ways: explicitly, via
+``span=``/``parent=`` keyword arguments on the instrumented calls, and
+by value, via the ``trace_ctx`` field stamped onto
+:class:`~repro.net.rpc.RpcMessage` and
+:class:`~repro.disk.request.DiskRequest` — a span *id*, so messages
+stay cheap and picklable.
+
+Asynchronous children (an nfsiod fetch that outlives the ``write()``
+that spawned it, a cache fill serving a read-ahead) are marked
+``detached``: they must *start* inside their parent's interval but may
+end after it.  :func:`check_well_formed` verifies exactly that
+invariant, plus monotone timestamps and the absence of orphans.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Union
+
+
+class Span:
+    """One named interval of simulated time in one layer."""
+
+    __slots__ = ("tracer", "id", "name", "cat", "parent_id",
+                 "start", "end", "detached", "args")
+
+    def __init__(self, tracer: Optional["SpanTracer"], span_id: int,
+                 name: str, cat: str, parent_id: Optional[int],
+                 start: float, detached: bool,
+                 args: Dict[str, Any]):
+        self.tracer = tracer
+        self.id = span_id
+        self.name = name
+        self.cat = cat
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.detached = detached
+        self.args = args
+
+    def set(self, **args: Any) -> None:
+        self.args.update(args)
+
+    def finish(self, **args: Any) -> None:
+        """Close the span at the current sim time (idempotent)."""
+        if self.end is not None or self.tracer is None:
+            return
+        if args:
+            self.args.update(args)
+        self.end = self.tracer._clock()
+        self.tracer.spans.append(self)
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def key(self) -> tuple:
+        """Identity tuple (used by round-trip and determinism tests)."""
+        return (self.id, self.name, self.cat, self.parent_id,
+                self.start, self.end, self.detached,
+                tuple(sorted(self.args.items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span(#{self.id} {self.cat}/{self.name} "
+                f"[{self.start}..{self.end}] parent={self.parent_id})")
+
+
+class _NullSpan:
+    """The span handed out when tracing is off.  Does nothing."""
+
+    __slots__ = ()
+    id = None
+    parent_id = None
+    name = "null"
+    cat = "null"
+    start = 0.0
+    end = 0.0
+    detached = False
+    args: Dict[str, Any] = {}
+    duration = 0.0
+
+    def set(self, **args: Any) -> None:
+        pass
+
+    def finish(self, **args: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+ParentLike = Union[Span, _NullSpan, int, None]
+
+
+def _parent_id(parent: ParentLike) -> Optional[int]:
+    if parent is None or isinstance(parent, int):
+        return parent
+    return parent.id
+
+
+class SpanTracer:
+    """Collects finished spans, stamped with the simulation clock.
+
+    The tracer starts life with a zero clock and is bound to a
+    simulator by :meth:`bind_clock` (``repro.obs`` deliberately imports
+    nothing from ``repro.sim``; the dependency points the other way).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock: Callable[[], float] = clock or (lambda: 0.0)
+        self._ids = itertools.count(1)
+        #: Finished spans, in finish order (deterministic for a
+        #: deterministic simulation).
+        self.spans: List[Span] = []
+        self.started = 0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    def now(self) -> float:
+        return self._clock()
+
+    def start(self, name: str, cat: str, parent: ParentLike = None,
+              detached: bool = False, **args: Any) -> Span:
+        """Open a span at the current sim time.
+
+        ``parent`` may be a :class:`Span`, a span id (the ``trace_ctx``
+        stamped on a message), :data:`NULL_SPAN`, or ``None``.
+        Detached spans may outlive their parent (asynchronous work).
+        """
+        self.started += 1
+        return Span(self, next(self._ids), name, cat, _parent_id(parent),
+                    self._clock(), detached, args)
+
+    @property
+    def open_count(self) -> int:
+        return self.started - len(self.spans)
+
+
+class NullTracer:
+    """The disabled tracer: free to call, records nothing."""
+
+    enabled = False
+    spans: List[Span] = []
+    started = 0
+    open_count = 0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def now(self) -> float:
+        return 0.0
+
+    def start(self, name: str, cat: str, parent: ParentLike = None,
+              detached: bool = False, **args: Any) -> _NullSpan:
+        return NULL_SPAN
+
+
+#: Shared disabled tracer: safe to hand to any number of simulators.
+NULL_TRACER = NullTracer()
+
+
+def check_well_formed(spans: List[Span]) -> List[str]:
+    """Validate a finished-span stream; returns a list of problems.
+
+    Checks, for every span:
+
+    * it is finished, with ``end >= start``;
+    * the stream is in finish order (ends non-decreasing);
+    * its parent (if any) exists in the stream — no orphans;
+    * its interval nests in its parent's: ``start`` within the parent
+      interval always, and ``end`` within it too unless the span is
+      ``detached`` (asynchronous work may outlive its parent).
+
+    An empty list means the tree is well-formed.
+    """
+    problems: List[str] = []
+    by_id: Dict[int, Span] = {}
+    for span in spans:
+        if span.id in by_id:
+            problems.append(f"duplicate span id {span.id}")
+        by_id[span.id] = span
+    previous_end: Optional[float] = None
+    for span in spans:
+        label = f"#{span.id} {span.cat}/{span.name}"
+        if span.end is None:
+            problems.append(f"{label}: unfinished span in stream")
+            continue
+        if span.end < span.start:
+            problems.append(f"{label}: end {span.end} precedes "
+                            f"start {span.start}")
+        if previous_end is not None and span.end < previous_end:
+            problems.append(f"{label}: stream not in finish order "
+                            f"({span.end} after {previous_end})")
+        previous_end = span.end
+        if span.parent_id is None:
+            continue
+        parent = by_id.get(span.parent_id)
+        if parent is None:
+            problems.append(f"{label}: orphan (parent {span.parent_id} "
+                            f"not in stream)")
+            continue
+        if parent.end is None:
+            continue
+        if not (parent.start <= span.start <= parent.end):
+            problems.append(f"{label}: starts at {span.start} outside "
+                            f"parent #{parent.id} "
+                            f"[{parent.start}..{parent.end}]")
+        if not span.detached and span.end > parent.end:
+            problems.append(f"{label}: non-detached child ends at "
+                            f"{span.end} after parent #{parent.id} "
+                            f"end {parent.end}")
+    return problems

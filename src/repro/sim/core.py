@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional
 
+from ..obs import NULL_OBS, Observability
 from .errors import SchedulingError, SimulationError
 from .events import AllOf, AnyOf, Event, EventQueue, Timeout
 from .process import Process
@@ -30,12 +31,20 @@ class Simulator:
         proc = sim.spawn(worker(sim))
         sim.run()
         assert sim.now == 1.5 and proc.value == "done"
+
+    ``obs`` attaches an :class:`~repro.obs.Observability` (span tracer
+    + metrics registry) that instrumented components reach via
+    ``sim.obs``.  The default is the shared all-off null object, and by
+    the no-perturbation invariant of :mod:`repro.obs` an instrumented
+    run is bit-identical to an uninstrumented one.
     """
 
-    def __init__(self):
+    def __init__(self, obs: Optional[Observability] = None):
         self.now: float = 0.0
         self._queue = EventQueue()
         self._running = False
+        self.obs = obs if obs is not None else NULL_OBS
+        self.obs.bind(self)
 
     # ------------------------------------------------------------------
     # Event construction helpers

@@ -7,8 +7,11 @@ net for the whole model: if a change to any subsystem breaks a paper
 claim, one of these fails.
 """
 
+from pathlib import Path
+
 import pytest
 
+import repro.experiments as experiments_pkg
 from repro.experiments import all_experiments, get
 
 SCALE = 1 / 16
@@ -30,11 +33,29 @@ def figures():
 
 
 class TestRegistry:
-    def test_all_experiments_registered(self):
+    def test_every_experiment_module_is_registered(self):
+        """The registry is discovered, not hand-listed.
+
+        Every experiment module (``<id>_<slug>.py`` next to the
+        registry) must register exactly the id its filename declares —
+        so adding an experiment module without registering it, or
+        registering an id with no module, fails here without anyone
+        editing a hardcoded list.
+        """
+        module_dir = Path(experiments_pkg.__file__).parent
+        support = {"__init__", "registry", "common"}
+        expected = {path.stem.split("_")[0]
+                    for path in module_dir.glob("*.py")
+                    if path.stem not in support}
         ids = [experiment.id for experiment in all_experiments()]
-        assert ids == ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-                       "fig7", "fig8", "table1",
-                       "xaged", "xfaults", "xlossy", "xmixed"]
+        assert set(ids) == expected
+        assert len(ids) == len(set(ids)), "duplicate experiment ids"
+
+    def test_listing_is_sorted_and_get_round_trips(self):
+        ids = [experiment.id for experiment in all_experiments()]
+        assert ids == sorted(ids)
+        for experiment in all_experiments():
+            assert get(experiment.id) is experiment
 
     def test_get_unknown_raises(self):
         with pytest.raises(KeyError):
@@ -44,6 +65,7 @@ class TestRegistry:
         for experiment in all_experiments():
             assert experiment.paper_claim
             assert experiment.title
+            assert callable(experiment.runner)
 
 
 class TestFig1Zcav(object):

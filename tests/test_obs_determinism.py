@@ -1,0 +1,98 @@
+"""Golden determinism battery: tracing must not perturb the simulation.
+
+Two experiments — the paper's headline NFS/UDP figure and the fault
+extension — each run three times with the same seed: instrumentation
+off, on, and on again.  The rendered results must be byte-identical
+across all three (tracing does not perturb the simulation), and the two
+instrumented runs must produce identical span streams and metric
+snapshots (the instrumentation itself is deterministic).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.experiments import get
+from repro.obs import check_well_formed, observe
+
+SEED = 7
+
+
+def span_digest(spans):
+    """A compact fingerprint of a span stream's full identity."""
+    digest = hashlib.sha256()
+    for span in spans:
+        digest.update(repr(span.key()).encode())
+    return digest.hexdigest()
+
+
+def run_experiment(experiment_id, scale):
+    return get(experiment_id).run(scale=scale, runs=1, seed=SEED)
+
+
+CASES = [
+    ("fig4", 1 / 64),      # fig4_nfs_udp: the full NFS/UDP read path
+    ("xfaults", 1 / 32),   # xfaults_degradation: retransmit/dupreq path
+]
+
+
+@pytest.fixture(scope="module", params=CASES,
+                ids=[case[0] for case in CASES])
+def golden(request):
+    """Off/on/on runs of one experiment (module-cached: these are the
+    expensive runs in this file)."""
+    experiment_id, scale = request.param
+    baseline = run_experiment(experiment_id, scale)
+    with observe(trace=True, metrics=True) as first:
+        traced_a = run_experiment(experiment_id, scale)
+    with observe(trace=True, metrics=True) as second:
+        traced_b = run_experiment(experiment_id, scale)
+    return baseline, traced_a, traced_b, first, second
+
+
+class TestNoPerturbation:
+    def test_results_identical_with_tracing_off_and_on(self, golden):
+        baseline, traced_a, traced_b, _first, _second = golden
+        assert traced_a.render() == baseline.render()
+        assert traced_b.render() == baseline.render()
+
+    def test_point_values_bit_identical(self, golden):
+        baseline, traced_a, _traced_b, _first, _second = golden
+        for base_series, traced_series in zip(baseline.series,
+                                              traced_a.series):
+            assert base_series.label == traced_series.label
+            for (bx, bsum), (tx, tsum) in zip(base_series.points,
+                                              traced_series.points):
+                assert bx == tx
+                assert bsum.mean == tsum.mean  # == : bit-identical
+
+
+class TestInstrumentationDeterminism:
+    def test_span_streams_identical_across_reruns(self, golden):
+        *_runs, first, second = golden
+        assert len(first.spans) > 0
+        assert span_digest(first.spans) == span_digest(second.spans)
+
+    def test_metric_snapshots_identical_across_reruns(self, golden):
+        *_runs, first, second = golden
+        assert len(first.snapshots) > 0
+        assert first.snapshots == second.snapshots
+
+    def test_span_streams_well_formed_per_run(self, golden):
+        # Each run has its own simulator clock, so well-formedness
+        # (nesting, finish order) is checked run by run.
+        *_runs, first, _second = golden
+        assert len(first.runs) > 0
+        for run_spans in first.runs:
+            assert check_well_formed(run_spans) == []
+
+    def test_session_span_ids_unique_across_runs(self, golden):
+        *_runs, first, _second = golden
+        ids = [span.id for span in first.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_no_spans_left_open(self, golden):
+        *_runs, first, _second = golden
+        # Every started span was finished and recorded: a leak here
+        # means some layer opens spans it never closes.
+        assert all(span.end is not None for span in first.spans)

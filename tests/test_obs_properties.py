@@ -1,0 +1,141 @@
+"""Property tests for the observability layer.
+
+* Randomly generated span trees (nested, with detached asynchronous
+  children) always satisfy :func:`check_well_formed`.
+* The Chrome trace_event export round-trips any span stream losslessly
+  (float timestamps and args included).
+* Histogram invariants hold for arbitrary observation sequences.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.export import dumps_trace, loads_trace
+from repro.obs.metrics import LatencyHistogram, merge_snapshots
+from repro.obs.span import SpanTracer, check_well_formed
+
+CATEGORIES = ("bench", "client.vnode", "net.rpc", "server.nfsd",
+              "kernel.buffercache", "disk.mechanics")
+
+arg_values = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=10),
+    st.booleans(),
+)
+# Keys stay clear of the export's reserved arg names (span_id,
+# parent_id, detached, t0, t1) — a-z only and short enough that
+# "detached" cannot be generated — and of SpanTracer.start()'s own
+# parameter names, which would collide with the **args expansion.
+arg_dicts = st.dictionaries(
+    st.text(st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1, max_size=6).filter(
+        lambda key: key not in {"name", "cat", "parent", "t0", "t1"}),
+    arg_values, max_size=3)
+
+ticks = st.floats(min_value=0.0, max_value=1.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def span_trees(draw):
+    """Build a random finished span stream via the real tracer.
+
+    Spans nest like call frames (children open and close inside their
+    parent); detached children start inside the parent but close after
+    everything else — exactly the asynchronous-worker shape the
+    simulator produces.
+    """
+    clock = {"now": 0.0}
+    tracer = SpanTracer()
+    tracer.bind_clock(lambda: clock["now"])
+    detached = []
+
+    def tick():
+        clock["now"] += draw(ticks)
+
+    def build(parent, depth):
+        tick()
+        span = tracer.start(f"s{tracer.started}",
+                            draw(st.sampled_from(CATEGORIES)),
+                            parent=parent, **draw(arg_dicts))
+        if depth < 3:
+            for _ in range(draw(st.integers(min_value=0, max_value=2))):
+                if draw(st.booleans()):
+                    child = tracer.start(
+                        f"async{tracer.started}",
+                        draw(st.sampled_from(CATEGORIES)),
+                        parent=span, detached=True)
+                    detached.append(child)
+                else:
+                    build(span, depth + 1)
+        tick()
+        span.finish()
+
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        build(None, 0)
+    for child in detached:
+        tick()
+        child.finish()
+    return tracer.spans
+
+
+@settings(max_examples=50, deadline=None)
+@given(span_trees())
+def test_generated_trees_are_well_formed(spans):
+    assert check_well_formed(spans) == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(span_trees())
+def test_trace_event_round_trip_is_lossless(spans):
+    back = loads_trace(dumps_trace(spans))
+    assert [s.key() for s in back] == [s.key() for s in spans]
+
+
+@settings(max_examples=50, deadline=None)
+@given(span_trees())
+def test_export_import_export_is_byte_stable(spans):
+    text = dumps_trace(spans)
+    assert dumps_trace(loads_trace(text)) == text
+
+
+durations = st.floats(min_value=0.0, max_value=1e4,
+                      allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(durations, max_size=50))
+def test_histogram_invariants(samples):
+    hist = LatencyHistogram("lat")
+    for value in samples:
+        hist.observe(value)
+    assert hist.count == len(samples)
+    assert sum(hist.buckets) == len(samples)
+    if samples:
+        assert hist.min == min(samples)
+        assert hist.max == max(samples)
+        assert math.isclose(hist.total, math.fsum(samples),
+                            rel_tol=1e-9, abs_tol=1e-12)
+        assert hist.min <= hist.mean <= hist.max or math.isclose(
+            hist.mean, hist.min, rel_tol=1e-9)
+    snap = hist.snapshot()
+    assert snap["count"] == len(samples)
+    assert sum(snap["buckets"].values()) == len(samples)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(durations, min_size=1, max_size=20),
+       st.integers(min_value=1, max_value=4))
+def test_merged_histogram_equals_concatenated_observations(samples, copies):
+    hist = LatencyHistogram("lat")
+    for value in samples:
+        hist.observe(value)
+    snap = {"histograms": {"lat": hist.snapshot()}}
+    merged = merge_snapshots([snap] * copies)["histograms"]["lat"]
+    assert merged["count"] == len(samples) * copies
+    assert math.isclose(merged["sum"], hist.total * copies,
+                        rel_tol=1e-9, abs_tol=1e-12)
+    assert merged["min"] == hist.min
+    assert merged["max"] == hist.max
