@@ -13,8 +13,9 @@ represents the average of at least ten separate runs").
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..host.testbed import (LocalTestbed, NfsTestbed, TestbedConfig,
                             build_local_testbed, build_nfs_testbed)
@@ -37,6 +38,9 @@ class RunResult:
     #: Metrics-registry snapshot for this run (``None`` unless the
     #: testbed ran with metrics enabled).
     metrics: Optional[dict] = None
+    #: Captured vnode-boundary trace (``None`` unless the testbed ran
+    #: with ``capture_trace=True``); a :class:`repro.replay.TraceFile`.
+    trace: Optional[object] = None
 
     @property
     def elapsed(self) -> float:
@@ -103,6 +107,9 @@ def _run_readers(testbed, spawn_reader, specs: Sequence[FileSpec]
             raise RuntimeError(f"reader {process.name} never finished")
     result = RunResult(readers=results,
                        total_bytes=sum(r.bytes_read for r in results))
+    capture_file = getattr(testbed, "capture_trace_file", None)
+    if capture_file is not None:
+        result.trace = capture_file()
     obs = getattr(testbed, "obs", None)
     if obs is not None and obs.enabled:
         if obs.registry.enabled:
@@ -272,13 +279,50 @@ def run_stride_once(config: TestbedConfig, strides: int,
 # Repetition
 # ---------------------------------------------------------------------------
 
-def repeat(run_once: Callable[[TestbedConfig], RunResult],
-           config: TestbedConfig, runs: int = 10) -> Summary:
-    """Repeat a run with per-run seeds; summarise throughput (MB/s)."""
+def _throughput_worker(job: Tuple[Callable, TestbedConfig]) -> float:
+    """One repeat in a worker process (module-level: picklable)."""
+    run_once, config = job
+    return run_once(config).throughput_mb_s
+
+
+def collect_throughputs(run_once: Callable[[TestbedConfig], RunResult],
+                        config: TestbedConfig, runs: int,
+                        jobs: int = 1) -> List[float]:
+    """Per-seed throughputs for ``runs`` repeats, in seed order.
+
+    With ``jobs > 1`` the repeats run in a process pool.  Each run is a
+    pure function of (config, seed) — inode numbering, RNG streams, and
+    the simulator clock are all per-testbed — and ``Pool.map`` returns
+    results in submission order, so the list (and anything folded from
+    it in order) is byte-identical to the serial path.
+
+    Parallelism is skipped under an active observability session: the
+    workers' obs state would die with them, silently dropping spans.
+    """
     if runs < 1:
         raise ValueError("need at least one run")
+    if jobs < 1:
+        raise ValueError("need at least one job")
+    seeds = [config.with_seed(config.seed + 1000 * index)
+             for index in range(runs)]
+    if jobs == 1 or runs == 1 or active_session() is not None:
+        return [run_once(seeded).throughput_mb_s for seeded in seeds]
+    with multiprocessing.Pool(processes=min(jobs, runs)) as pool:
+        return pool.map(_throughput_worker,
+                        [(run_once, seeded) for seeded in seeds])
+
+
+def repeat(run_once: Callable[[TestbedConfig], RunResult],
+           config: TestbedConfig, runs: int = 10,
+           jobs: int = 1) -> Summary:
+    """Repeat a run with per-run seeds; summarise throughput (MB/s).
+
+    ``jobs`` parallelises the repeats (see :func:`collect_throughputs`);
+    the summary is byte-identical to a serial run because the per-seed
+    throughputs come back in seed order and are folded into the
+    accumulator in that same order.
+    """
     acc = RunningSummary()
-    for index in range(runs):
-        result = run_once(config.with_seed(config.seed + 1000 * index))
-        acc.add(result.throughput_mb_s)
+    for throughput in collect_throughputs(run_once, config, runs, jobs):
+        acc.add(throughput)
     return acc.freeze()

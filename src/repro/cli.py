@@ -8,11 +8,22 @@ Examples::
     python -m repro fig7 --runs 5 --seed 42
     python -m repro fig4 --trace out.json   # open out.json in Perfetto
     python -m repro fig1 --metrics          # per-layer metrics report
+    python -m repro bench --readers 4 --runs 10 --jobs 4 --json
+    python -m repro replay --capture t.jsonl --replay t.jsonl \\
+        --target-transport tcp --target-heuristic cursor \\
+        --target-nfsheur improved --clients 4
+
+Two extra verbs ride next to the figure ids: ``bench`` (one benchmark
+point, optionally parallel and machine-readable) and ``replay``
+(capture a run's vnode-boundary trace and/or replay a trace file
+against an arbitrary testbed; see :mod:`repro.replay`).
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
+import json
 import sys
 import time
 from typing import List, Optional
@@ -28,8 +39,8 @@ def build_parser() -> argparse.ArgumentParser:
                      "Benchmarking Traps' (USENIX 2003) in simulation."))
     parser.add_argument("experiment",
                         help="experiment id (fig1..fig8, table1, "
-                             "xaged, xlossy, xmixed, xfaults) or "
-                             "'list' / 'all'")
+                             "xaged, xlossy, xmixed, xfaults, xreplay) "
+                             "or 'list' / 'all'")
     parser.add_argument("--scale", type=float, default=0.125,
                         help="file-size scale factor; 1.0 is the paper's "
                              "256 MB working set (default: 0.125)")
@@ -84,7 +95,197 @@ def _run_one(experiment_id: str, args) -> None:
     print(f"paper claim: {experiment.paper_claim}")
 
 
+def _add_testbed_flags(parser: argparse.ArgumentParser) -> None:
+    """The testbed knobs shared by the ``bench`` and ``replay`` verbs."""
+    parser.add_argument("--drive", choices=["ide", "scsi"], default="ide")
+    parser.add_argument("--partition", type=int, default=1,
+                        help="disk partition, 1 (outer) .. 4 (inner)")
+    parser.add_argument("--transport", choices=["udp", "tcp"],
+                        default="udp")
+    parser.add_argument("--heuristic", default="default",
+                        help="server read-ahead heuristic "
+                             "(default/slowdown/always/cursor)")
+    parser.add_argument("--nfsheur", choices=["default", "improved"],
+                        default="default")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nfstricks bench",
+        description="One NFS benchmark point (§4.3), repeated and "
+                    "summarised; repeats optionally run in parallel.")
+    _add_testbed_flags(parser)
+    parser.add_argument("--readers", type=int, default=4,
+                        help="concurrent sequential readers (default: 4)")
+    parser.add_argument("--runs", type=int, default=3)
+    parser.add_argument("--scale", type=float, default=0.125,
+                        help="file-size scale factor (default: 0.125)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the repeats; output "
+                             "is byte-identical to --jobs 1")
+    parser.add_argument("--json", action="store_true",
+                        help="print a machine-readable JSON record "
+                             "instead of prose")
+    return parser
+
+
+def _bench_config(args):
+    from .host.testbed import TestbedConfig
+    return TestbedConfig(drive=args.drive, partition=args.partition,
+                         transport=args.transport,
+                         server_heuristic=args.heuristic,
+                         nfsheur=args.nfsheur, seed=args.seed)
+
+
+def _main_bench(argv: List[str]) -> int:
+    from .bench.runner import collect_throughputs, run_nfs_once
+    from .stats import RunningSummary
+    args = _build_bench_parser().parse_args(argv)
+    config = _bench_config(args)
+    point = functools.partial(run_nfs_once, nreaders=args.readers,
+                              scale=args.scale)
+    throughputs = collect_throughputs(point, config, args.runs,
+                                      jobs=args.jobs)
+    acc = RunningSummary()
+    for throughput in throughputs:
+        acc.add(throughput)
+    summary = acc.freeze()
+    if args.json:
+        print(json.dumps(
+            {"verb": "bench", "drive": args.drive,
+             "partition": args.partition, "transport": args.transport,
+             "heuristic": args.heuristic, "nfsheur": args.nfsheur,
+             "readers": args.readers, "scale": args.scale,
+             "seed": args.seed, "runs": args.runs, "jobs": args.jobs,
+             "throughputs_mb_s": throughputs,
+             "mean_mb_s": summary.mean, "std_mb_s": summary.std},
+            sort_keys=True))
+    else:
+        print(f"{args.transport}/{args.heuristic}/{args.nfsheur} "
+              f"{args.drive}{args.partition} readers={args.readers}: "
+              f"{summary.mean:.2f} +/- {summary.std:.2f} MB/s "
+              f"({args.runs} runs, jobs={args.jobs})")
+    return 0
+
+
+def _build_replay_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nfstricks replay",
+        description="Capture the benchmark's vnode-boundary trace "
+                    "and/or replay a trace file against any testbed. "
+                    "Passing both --capture and --replay with the same "
+                    "file does capture-then-replay in one invocation.")
+    parser.add_argument("--capture", metavar="FILE", default=None,
+                        help="run the benchmark on the source testbed "
+                             "(the plain flags) with capture on; write "
+                             "the trace to FILE")
+    parser.add_argument("--replay", metavar="FILE", default=None,
+                        help="replay the trace in FILE against the "
+                             "target testbed (the --target-* flags)")
+    parser.add_argument("--mode", choices=["open", "closed"],
+                        default="closed",
+                        help="closed = dependency-ordered, as fast as "
+                             "possible; open = timestamp-faithful")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="open-loop time-scaling factor; >1 "
+                             "compresses the captured schedule "
+                             "(default: 1.0)")
+    parser.add_argument("--clients", type=int, default=0,
+                        help="multiplex the trace to N clients with "
+                             "Zipfian file remapping (0 = as captured)")
+    parser.add_argument("--zipf", type=float, default=1.1,
+                        help="Zipf exponent for the popularity remap")
+    _add_testbed_flags(parser)
+    parser.add_argument("--readers", type=int, default=2,
+                        help="readers in the captured benchmark run")
+    parser.add_argument("--bench-scale", type=float, default=0.125,
+                        help="file-size scale of the captured run")
+    parser.add_argument("--capture-clients", type=int, default=2,
+                        help="client machines in the captured run")
+    parser.add_argument("--target-transport", choices=["udp", "tcp"],
+                        default=None, help="target transport "
+                        "(default: same as the source)")
+    parser.add_argument("--target-heuristic", default=None)
+    parser.add_argument("--target-nfsheur",
+                        choices=["default", "improved"], default=None)
+    parser.add_argument("--target-drive", choices=["ide", "scsi"],
+                        default=None)
+    parser.add_argument("--target-partition", type=int, default=None)
+    parser.add_argument("--target-seed", type=int, default=None)
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the target testbed's metrics "
+                             "registry after the replay")
+    parser.add_argument("--json", action="store_true",
+                        help="print the replay summary as JSON")
+    return parser
+
+
+def _main_replay(argv: List[str]) -> int:
+    from dataclasses import replace
+    from .replay import (capture_nfs_run, read_trace_file, replay_trace,
+                         write_trace_file)
+    from .replay.format import TraceFormatError
+    args = _build_replay_parser().parse_args(argv)
+    if args.capture is None and args.replay is None:
+        print("replay: need --capture FILE and/or --replay FILE",
+              file=sys.stderr)
+        return 2
+    source = replace(_bench_config(args),
+                     num_clients=args.capture_clients)
+    if args.capture is not None:
+        trace = capture_nfs_run(source, nreaders=args.readers,
+                                scale=args.bench_scale)
+        write_trace_file(args.capture, trace)
+        if not args.json:
+            print(f"captured {trace.ops} ops / {trace.header.clients} "
+                  f"clients -> {args.capture}")
+    if args.replay is None:
+        return 0
+    try:
+        trace = read_trace_file(args.replay)
+    except (OSError, TraceFormatError) as error:
+        print(f"replay: {error}", file=sys.stderr)
+        return 2
+    target = replace(
+        source,
+        drive=args.target_drive or args.drive,
+        partition=(args.target_partition
+                   if args.target_partition is not None
+                   else args.partition),
+        transport=args.target_transport or args.transport,
+        server_heuristic=args.target_heuristic or args.heuristic,
+        nfsheur=args.target_nfsheur or args.nfsheur,
+        seed=args.target_seed if args.target_seed is not None
+        else args.seed)
+    with observe(metrics=args.metrics) as session:
+        result = replay_trace(trace, target, mode=args.mode,
+                              time_scale=args.scale,
+                              clients=args.clients, zipf_s=args.zipf)
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        print(f"replayed {summary['offered_ops']} offered ops on "
+              f"{summary['clients']} clients ({summary['mode']} loop): "
+              f"{summary['ops_completed']} completed, "
+              f"{summary['errors']} errors, "
+              f"{summary['throughput_mb_s']:.2f} MB/s in "
+              f"{summary['elapsed']:.2f}s simulated, "
+              f"lateness {summary['lateness_s']:.3f}s")
+    if args.metrics:
+        print()
+        print(session.metrics_report())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        return _main_bench(argv[1:])
+    if argv and argv[0] == "replay":
+        return _main_replay(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         _list_experiments()

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..bench.fileset import READER_COUNTS
-from ..bench.runner import (RunResult, run_local_once, run_nfs_once,
+from ..bench.runner import (RunResult, collect_throughputs,
+                            run_local_once, run_nfs_once,
                             run_stride_once)
 from ..host.testbed import TestbedConfig
 from ..stats import RunningSummary, SeriesSet
@@ -16,18 +18,24 @@ def sweep_readers(title: str,
                   run_once: Callable[..., RunResult],
                   reader_counts: Sequence[int] = READER_COUNTS,
                   scale: float = 0.125, runs: int = 3,
-                  seed: int = 0) -> SeriesSet:
-    """Throughput vs concurrent readers, one series per configuration."""
+                  seed: int = 0, jobs: int = 1) -> SeriesSet:
+    """Throughput vs concurrent readers, one series per configuration.
+
+    ``jobs`` parallelises the per-point repeats; the per-run seed
+    schedule (``seed + 1000*run + nreaders``) and the order throughputs
+    are folded into the summary are the same either way, so the figure
+    is byte-identical to a serial sweep.
+    """
     figure = SeriesSet(title=title, xlabel="readers")
     for label, config in configs:
         series = figure.new_series(label)
         for nreaders in reader_counts:
+            point = functools.partial(run_once, nreaders=nreaders,
+                                      scale=scale)
             acc = RunningSummary()
-            for run_index in range(runs):
-                run_config = config.with_seed(
-                    seed + 1000 * run_index + nreaders)
-                result = run_once(run_config, nreaders, scale=scale)
-                acc.add(result.throughput_mb_s)
+            for throughput in collect_throughputs(
+                    point, config.with_seed(seed + nreaders), runs, jobs):
+                acc.add(throughput)
             series.add(nreaders, acc.freeze())
     return figure
 
@@ -36,19 +44,19 @@ def sweep_strides(title: str,
                   configs: Sequence[Tuple[str, TestbedConfig]],
                   strides: Sequence[int] = (2, 4, 8),
                   scale: float = 0.125, runs: int = 3,
-                  seed: int = 0) -> SeriesSet:
+                  seed: int = 0, jobs: int = 1) -> SeriesSet:
     """Stride-read throughput vs stride count (§7's benchmark)."""
     figure = SeriesSet(title=title, xlabel="strides")
     for label, config in configs:
         series = figure.new_series(label)
         for stride_count in strides:
+            point = functools.partial(run_stride_once,
+                                      strides=stride_count, scale=scale)
             acc = RunningSummary()
-            for run_index in range(runs):
-                run_config = config.with_seed(
-                    seed + 1000 * run_index + stride_count)
-                result = run_stride_once(run_config, stride_count,
-                                         scale=scale)
-                acc.add(result.throughput_mb_s)
+            for throughput in collect_throughputs(
+                    point, config.with_seed(seed + stride_count),
+                    runs, jobs):
+                acc.add(throughput)
             series.add(stride_count, acc.freeze())
     return figure
 

@@ -14,6 +14,7 @@ into the holes a real aged FFS would exhibit.
 
 from __future__ import annotations
 
+import itertools
 import random
 from typing import List, Optional
 
@@ -50,6 +51,14 @@ class SequentialAllocator:
         self.chunk_blocks = chunk_blocks
         self.max_gap_blocks = max_gap_blocks
         self._rng = rng or random.Random(0xA110C)
+        #: Per-file-system inode numbering (0/1 reserved).  A local
+        #: counter — not the module-global ``Inode`` default — so a
+        #: file system's handles are identical no matter how many other
+        #: testbeds the process built first.  The nfsheur table hashes
+        #: the handle id, so this is what makes a run's results a pure
+        #: function of its config and seed (and lets ``--jobs`` parallel
+        #: repeats reproduce serial output byte for byte).
+        self._inode_numbers = itertools.count(2)
 
         first = -(-partition.first_lba // self.sectors_per_block)
         last = partition.end_lba // self.sectors_per_block
@@ -92,4 +101,5 @@ class SequentialAllocator:
                 gap = self._rng.randint(0, self.max_gap_blocks)
                 self._next_block = min(self._next_block + gap,
                                        self._end_block)
-        return Inode(name=name, size=size, extents=extents)
+        return Inode(name=name, size=size, extents=extents,
+                     number=next(self._inode_numbers))

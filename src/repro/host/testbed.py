@@ -94,6 +94,10 @@ class TestbedConfig:
     #: changes any simulated result.
     trace: bool = False
     metrics: bool = False
+    #: Capture the client vnode boundary into an Ellard-style trace
+    #: (see :mod:`repro.replay`).  Like ``trace``/``metrics``, capture
+    #: never perturbs the simulated run.
+    capture_trace: bool = False
     #: Server duplicate-request cache entries (0 disables it).  Sized to
     #: cover every request the server can complete inside one
     #: retransmission window (~1 s at ~1000 ops/s), so a retransmitted
@@ -233,6 +237,20 @@ class NfsTestbed(LocalTestbed):
             config.server_heuristic, **config.heuristic_options)
         self.server: Optional[NfsServer] = None
 
+        self.capture = None
+        if config.capture_trace:
+            from ..replay.capture import TraceCapture
+            self.capture = TraceCapture(
+                block_size=config.rsize, seed=config.seed,
+                clients=config.num_clients,
+                config={"drive": config.drive,
+                        "partition": config.partition,
+                        "transport": config.transport,
+                        "server_heuristic": config.server_heuristic,
+                        "nfsheur": (config.nfsheur
+                                    if isinstance(config.nfsheur, str)
+                                    else "custom")})
+
         self.client_machines: List[Machine] = []
         self.mounts: List[NfsMount] = []
         self.rpc_clients: List[RpcClient] = []
@@ -267,7 +285,8 @@ class NfsTestbed(LocalTestbed):
                                       soft=config.mount_soft,
                                       timeo=config.mount_timeo,
                                       retrans=config.mount_retrans),
-                name=f"mnt{index}")
+                name=f"mnt{index}",
+                capture=self.capture, client_index=index)
             self.client_machines.append(machine)
             self.mounts.append(mount)
             self.rpc_clients.append(rpc_client)
@@ -396,6 +415,17 @@ class NfsTestbed(LocalTestbed):
     def mount_for(self, index: int) -> NfsMount:
         """The mount a given reader index should use (round-robin)."""
         return self.mounts[index % len(self.mounts)]
+
+    def capture_trace_file(self):
+        """Freeze the run's capture into a self-describing trace file.
+
+        Returns ``None`` unless the testbed was built with
+        ``capture_trace=True``; call after :meth:`Simulator.run` so the
+        trace covers the whole run and the exported fileset is final.
+        """
+        if self.capture is None:
+            return None
+        return self.capture.trace_file(self.server.exported_files())
 
     def flush_caches(self) -> None:
         super().flush_caches()

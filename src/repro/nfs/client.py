@@ -29,6 +29,8 @@ from ..net.rpc import RpcClient, RpcTimeout
 from ..readahead import (DefaultHeuristic, Heuristic, ReadState,
                          readahead_blocks)
 from ..sim import Event, Resource, Simulator
+from ..trace.records import (OP_COMMIT, OP_GETATTR, OP_OPEN, OP_READ,
+                             OP_WRITE)
 from .errors import NfsTimeoutError
 from .fhandle import FileHandle
 from .protocol import (CommitReply, CommitRequest, LookupReply,
@@ -102,7 +104,7 @@ class NfsMount:
     def __init__(self, sim: Simulator, machine: Machine, rpc: RpcClient,
                  config: Optional[NfsMountConfig] = None,
                  heuristic: Optional[Heuristic] = None,
-                 name: str = "mnt"):
+                 name: str = "mnt", capture=None, client_index: int = 0):
         self.sim = sim
         self.machine = machine
         self.rpc = rpc
@@ -112,6 +114,16 @@ class NfsMount:
                              f"{self.config.transport!r}")
         self.heuristic: Heuristic = heuristic or DefaultHeuristic()
         self.name = name
+        #: Vnode-boundary capture sink (:mod:`repro.replay`): records
+        #: each application-level op at issue time.  ``None`` (the
+        #: default) keeps the hooks to a single ``is None`` test — the
+        #: obs-style zero-cost-when-disabled discipline, without even a
+        #: null-object attribute chase on the hot path.
+        self.capture = capture if (capture is not None
+                                   and capture.enabled) else None
+        #: This mount's index among the testbed's client machines (the
+        #: ``client`` field stamped on captured records).
+        self.client_index = client_index
         self.nfsiods = Resource(sim, capacity=self.config.nfsiod_count)
         self.stats = NfsMountStats()
         registry = sim.obs.registry
@@ -162,6 +174,9 @@ class NfsMount:
 
     def open(self, name: str, span=None):
         """LOOKUP a file (generator; returns an :class:`NfsFile`)."""
+        if self.capture is not None:
+            self.capture.record(self.sim.now, self.client_index,
+                                OP_OPEN, name)
         started = self.sim.now
         yield from self.machine.execute(self.config.marshal_cpu)
         self._m_cpu.observe(self.sim.now - started)
@@ -183,6 +198,9 @@ class NfsMount:
         if offset >= nfile.size:
             return 0
         nbytes = min(nbytes, nfile.size - offset)
+        if self.capture is not None:
+            self.capture.record(self.sim.now, self.client_index,
+                                OP_READ, nfile.name, offset, nbytes)
         bs = self.config.read_size
         first = offset // bs
         last = (offset + nbytes - 1) // bs
@@ -229,6 +247,9 @@ class NfsMount:
         if offset >= nfile.size:
             return 0
         nbytes = min(nbytes, nfile.size - offset)
+        if self.capture is not None:
+            self.capture.record(self.sim.now, self.client_index,
+                                OP_WRITE, nfile.name, offset, nbytes)
         bs = self.config.read_size
         first = offset // bs
         last = (offset + nbytes - 1) // bs
@@ -245,6 +266,9 @@ class NfsMount:
 
     def commit(self, nfile: NfsFile, span=None):
         """COMMIT: flush unstable server-side writes (generator)."""
+        if self.capture is not None:
+            self.capture.record(self.sim.now, self.client_index,
+                                OP_COMMIT, nfile.name)
         started = self.sim.now
         yield from self.machine.execute(self.config.marshal_cpu)
         self._m_cpu.observe(self.sim.now - started)
@@ -297,6 +321,9 @@ class NfsMount:
         """GETATTR round trip (generator) — metadata traffic for mixed
         workloads."""
         from .protocol import GetattrReply, GetattrRequest
+        if self.capture is not None:
+            self.capture.record(self.sim.now, self.client_index,
+                                OP_GETATTR, nfile.name)
         started = self.sim.now
         yield from self.machine.execute(self.config.marshal_cpu)
         self._m_cpu.observe(self.sim.now - started)

@@ -153,6 +153,11 @@ class NfsServer:
     def fh_of(self, name: str) -> FileHandle:
         return self._by_name[name]
 
+    def exported_files(self):
+        """The exported namespace as sorted ``(name, size)`` pairs."""
+        return sorted((inode.name, inode.size)
+                      for inode in self._by_fh.values())
+
     # ------------------------------------------------------------------
 
     def handle(self, request, span=None):

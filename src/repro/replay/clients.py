@@ -1,0 +1,167 @@
+"""Replay client processes: open-loop and closed-loop.
+
+Both kinds take one captured client's operations (program order) and a
+mount to drive; the difference is the load model — the classic
+open-vs-closed distinction the benchmarking literature warns about:
+
+* **Closed loop** issues each operation only after the previous one
+  completes — the dependency-ordered, as-fast-as-possible model.  The
+  offered load adapts to the server: a slow server simply makes the run
+  longer.  This is the mode for throughput comparisons between testbed
+  configs.
+* **Open loop** issues each operation at its captured timestamp
+  (divided by ``time_scale``; values above 1 compress the schedule)
+  *whether or not* earlier operations finished, spawning each op as its
+  own process — the arrival process is faithful to the trace.  A slow
+  server cannot push back on arrivals; it can only let completions
+  trail the schedule, so the client integrates ``completion - scheduled
+  issue`` into ``lateness_s``: the backlog a real open workload would
+  build.  This is the mode for "what if this exact traffic hit that
+  server" questions.
+
+Operations reference files by path; a client LOOKUPs each path the
+first time it is touched (captured ``open`` records replay as explicit
+LOOKUPs too, so a trace with opens reproduces its metadata traffic).
+Concurrent first-touches of one path (open loop) share a single
+in-flight LOOKUP via the event-parking idiom the client block cache
+uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..sim import Event, Simulator
+from ..trace.records import (OP_COMMIT, OP_GETATTR, OP_OPEN, OP_READ,
+                             OP_WRITE, TraceRecord)
+
+
+@dataclass
+class ClientReplayResult:
+    """One replay client's counters."""
+
+    name: str
+    ops: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    errors: int = 0
+    #: Open loop only: cumulative seconds op *completions* trailed
+    #: their scheduled issue times — the backlog integral of an
+    #: arrival process the server cannot slow down (0.0 in closed
+    #: loop, where there is no schedule to trail).
+    lateness_s: float = 0.0
+    finish_time: float = 0.0
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+def _ensure_open(sim: Simulator, mount, files: Dict[str, object],
+                 path: str):
+    """LOOKUP ``path`` once per client (generator; returns the NfsFile).
+
+    ``files`` maps path -> NfsFile, or -> the in-flight completion Event
+    while a LOOKUP is outstanding (open-loop ops race to first touch).
+    """
+    entry = files.get(path)
+    if isinstance(entry, Event):
+        nfile = yield entry
+        return nfile
+    if entry is not None:
+        return entry
+    pending = sim.event(name=f"replay-open:{path}")
+    files[path] = pending
+    try:
+        nfile = yield from mount.open(path)
+    except OSError:
+        del files[path]
+        pending.fail(OSError(f"replay: open {path!r} failed"))
+        raise
+    files[path] = nfile
+    pending.succeed(nfile)
+    return nfile
+
+
+def _replay_op(sim: Simulator, mount, files: Dict[str, object],
+               record: TraceRecord, result: ClientReplayResult):
+    """Execute one captured operation (generator).
+
+    Errors (a soft mount's ETIMEDOUT) are counted, not fatal — replay
+    is a bulk driver, like the resilient benchmark readers.
+    """
+    try:
+        if record.op == OP_OPEN:
+            yield from _ensure_open(sim, mount, files, record.path)
+        elif record.op == OP_READ:
+            nfile = yield from _ensure_open(sim, mount, files, record.path)
+            got = yield from mount.read(nfile, record.offset, record.count)
+            result.bytes_read += got
+        elif record.op == OP_WRITE:
+            nfile = yield from _ensure_open(sim, mount, files, record.path)
+            got = yield from mount.write(nfile, record.offset,
+                                         record.count)
+            result.bytes_written += got
+        elif record.op == OP_GETATTR:
+            nfile = yield from _ensure_open(sim, mount, files, record.path)
+            yield from mount.getattr(nfile)
+        elif record.op == OP_COMMIT:
+            nfile = yield from _ensure_open(sim, mount, files, record.path)
+            yield from mount.commit(nfile)
+        else:  # unreachable: records validate their op on construction
+            raise ValueError(f"unknown replay op {record.op!r}")
+    except OSError:
+        result.errors += 1
+        return None
+    result.ops += 1
+    return None
+
+
+def closed_loop_client(sim: Simulator, mount,
+                       records: Sequence[TraceRecord],
+                       result: ClientReplayResult):
+    """Program-ordered, as-fast-as-possible replay (generator process)."""
+    files: Dict[str, object] = {}
+    for record in records:
+        yield from _replay_op(sim, mount, files, record, result)
+    result.finish_time = sim.now
+    return result
+
+
+def _timed_op(sim: Simulator, mount, files: Dict[str, object],
+              record: TraceRecord, result: ClientReplayResult,
+              target: float):
+    """One open-loop op plus its lateness accounting (generator)."""
+    yield from _replay_op(sim, mount, files, record, result)
+    result.lateness_s += sim.now - target
+
+
+def open_loop_client(sim: Simulator, mount,
+                     records: Sequence[TraceRecord],
+                     result: ClientReplayResult,
+                     time_scale: float = 1.0):
+    """Timestamp-faithful replay (generator process).
+
+    Each op fires at ``record.time / time_scale`` on the replay clock
+    (times are taken relative to the client's first record, so a trace
+    captured mid-run replays from zero).  Ops run as independent
+    processes; the client waits for all of them before reporting.
+    """
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    files: Dict[str, object] = {}
+    pending: List = []
+    base = records[0].time if records else 0.0
+    for record in records:
+        target = (record.time - base) / time_scale
+        if sim.now < target:
+            yield sim.timeout(target - sim.now)
+        pending.append(sim.spawn(
+            _timed_op(sim, mount, files, record, result, target),
+            name=f"{result.name}.op{record.client_seq}"))
+    for process in pending:
+        if not process.finished:
+            yield process
+    result.finish_time = sim.now
+    return result

@@ -1,0 +1,130 @@
+"""The on-disk trace format: versioned JSONL, lossless round trip.
+
+Line 1 is the header object; every following non-empty line is one
+operation.  All lines are emitted with sorted keys and compact
+separators, so ``dumps_trace(loads_trace(text))`` reproduces ``text``
+byte for byte — the round-trip property the test battery pins down.
+Floats survive because JSON serialisation uses ``repr``-shortest
+notation, which Python parses back to the identical IEEE-754 value.
+
+The format is versioned: a reader accepts any file whose major version
+it knows, and rejects unknown formats loudly rather than mis-replaying
+them.  Unknown *header* keys are preserved (the header is provenance,
+not behaviour), which is what lets old traces replay on newer code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from ..trace.records import OP_KINDS, TraceRecord
+from .records import TraceFile, TraceHeader
+
+FORMAT_NAME = "repro-replay-trace"
+FORMAT_VERSION = 1
+
+_COMPACT = {"sort_keys": True, "separators": (",", ":")}
+
+
+class TraceFormatError(ValueError):
+    """The bytes are not a trace this reader understands."""
+
+
+def _header_line(header: TraceHeader) -> str:
+    return json.dumps({
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "block_size": header.block_size,
+        "fileset": [[name, size] for name, size in header.fileset],
+        "seed": header.seed,
+        "clients": header.clients,
+        "config": header.config_dict(),
+    }, **_COMPACT)
+
+
+def _record_line(record: TraceRecord) -> str:
+    return json.dumps({
+        "t": record.time,
+        "c": record.client,
+        "op": record.op,
+        "path": record.path,
+        "off": record.offset,
+        "n": record.count,
+        "seq": record.client_seq,
+    }, **_COMPACT)
+
+
+def dumps_trace(trace: TraceFile) -> str:
+    """Serialize a trace to JSONL text (newline-terminated)."""
+    lines = [_header_line(trace.header)]
+    lines.extend(_record_line(record) for record in trace.records)
+    return "\n".join(lines) + "\n"
+
+
+def _parse_header(line: str) -> TraceHeader:
+    try:
+        raw = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"unparseable trace header: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("format") != FORMAT_NAME:
+        raise TraceFormatError(
+            f"not a {FORMAT_NAME} file (header {line[:60]!r})")
+    version = raw.get("version")
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"trace format version {version!r} not supported "
+            f"(this reader speaks version {FORMAT_VERSION})")
+    try:
+        return TraceHeader(
+            block_size=int(raw["block_size"]),
+            fileset=tuple((str(name), int(size))
+                          for name, size in raw["fileset"]),
+            seed=int(raw["seed"]),
+            clients=int(raw["clients"]),
+            config=tuple(sorted(dict(raw.get("config", {})).items())))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed trace header: {exc}") from exc
+
+
+def _parse_record(line: str, lineno: int) -> TraceRecord:
+    try:
+        raw = json.loads(line)
+        op = raw["op"]
+        if op not in OP_KINDS:
+            raise ValueError(f"unknown op {op!r}")
+        path = str(raw["path"])
+        return TraceRecord(
+            time=float(raw["t"]), fh=path, offset=int(raw["off"]),
+            count=int(raw["n"]), client_seq=int(raw["seq"]),
+            op=op, client=int(raw["c"]), path=path)
+    except (json.JSONDecodeError, KeyError, TypeError,
+            ValueError) as exc:
+        raise TraceFormatError(
+            f"bad trace record on line {lineno}: {exc}") from exc
+
+
+def loads_trace(text: str) -> TraceFile:
+    """Parse JSONL text produced by :func:`dumps_trace`."""
+    lines = text.splitlines()
+    if not lines:
+        raise TraceFormatError("empty trace file")
+    header = _parse_header(lines[0])
+    records: List[TraceRecord] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        records.append(_parse_record(line, lineno))
+    return TraceFile(header=header, records=records)
+
+
+def write_trace_file(path: str, trace: TraceFile) -> int:
+    """Write a trace to ``path``; returns the number of records."""
+    with open(path, "w") as handle:
+        handle.write(dumps_trace(trace))
+    return trace.ops
+
+
+def read_trace_file(path: str) -> TraceFile:
+    with open(path) as handle:
+        return loads_trace(handle.read())

@@ -1,0 +1,98 @@
+"""Trace containers: the header and the in-memory trace file.
+
+A captured trace is self-describing: the header names everything needed
+to rebuild an equivalent workload on a *different* testbed — the NFS
+transfer size the offsets are quantised to, the fileset (names and
+sizes, so the replay target can export identical files), the master
+seed, the number of capturing clients, and a summary of the source
+testbed configuration for provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..trace.records import TraceRecord
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """Everything about a trace except the operations themselves."""
+
+    block_size: int
+    fileset: Tuple[Tuple[str, int], ...]
+    seed: int
+    clients: int
+    #: Source-testbed provenance (transport, heuristic, drive, ...).
+    #: Informational: replay never *requires* it, so traces survive
+    #: config-schema drift.
+    config: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        if self.block_size <= 0:
+            raise ValueError("block size must be positive")
+        if self.clients < 1:
+            raise ValueError("a trace needs at least one client")
+        for name, size in self.fileset:
+            if not name or size <= 0:
+                raise ValueError(f"bad fileset entry ({name!r}, {size})")
+
+    def config_dict(self) -> Dict[str, object]:
+        return dict(self.config)
+
+    def file_sizes(self) -> Dict[str, int]:
+        return dict(self.fileset)
+
+    @staticmethod
+    def from_parts(block_size: int, fileset: Sequence[Tuple[str, int]],
+                   seed: int, clients: int,
+                   config: Dict[str, object]) -> "TraceHeader":
+        return TraceHeader(
+            block_size=block_size,
+            fileset=tuple((str(n), int(s)) for n, s in fileset),
+            seed=seed, clients=clients,
+            config=tuple(sorted(config.items())))
+
+
+@dataclass
+class TraceFile:
+    """A parsed (or freshly captured) trace: header plus records."""
+
+    header: TraceHeader
+    records: List[TraceRecord] = field(default_factory=list)
+
+    @property
+    def ops(self) -> int:
+        return len(self.records)
+
+    @property
+    def duration(self) -> float:
+        """Issue-time span of the trace (0 for an empty trace)."""
+        if not self.records:
+            return 0.0
+        times = [record.time for record in self.records]
+        return max(times) - min(times)
+
+    @property
+    def bytes_moved(self) -> int:
+        return sum(record.count for record in self.records)
+
+    def by_client(self) -> Dict[int, List[TraceRecord]]:
+        return group_by_client(self.records)
+
+
+def group_by_client(records: Sequence[TraceRecord]
+                    ) -> Dict[int, List[TraceRecord]]:
+    """Split records into per-client program-order lists.
+
+    Within a client, program order is ``client_seq`` order — the issue
+    order ground truth the capture layer stamped — regardless of any
+    timestamp ties.
+    """
+    clients: Dict[int, List[TraceRecord]] = {}
+    for record in records:
+        clients.setdefault(record.client, []).append(record)
+    for ops in clients.values():
+        ops.sort(key=lambda record: record.client_seq)
+    return dict(sorted(clients.items()))

@@ -1,13 +1,23 @@
 """Synthetic NFS traces and the reordering/sequentiality metrics."""
 
-from .generate import random_trace, sequential_trace, stride_trace
+from .generate import (DEFAULT_TRACE_SEED, default_rng, random_trace,
+                       sequential_trace, stride_trace)
 from .metrics import (group_by_handle, mean_seqcount,
                       offset_backjump_fraction, reorder_fraction,
                       sequentiality_profile)
-from .records import TraceRecord
+from .records import (OP_COMMIT, OP_GETATTR, OP_KINDS, OP_OPEN, OP_READ,
+                      OP_WRITE, TraceRecord)
 
 __all__ = [
     "TraceRecord",
+    "OP_READ",
+    "OP_WRITE",
+    "OP_OPEN",
+    "OP_GETATTR",
+    "OP_COMMIT",
+    "OP_KINDS",
+    "DEFAULT_TRACE_SEED",
+    "default_rng",
     "sequential_trace",
     "stride_trace",
     "random_trace",

@@ -4,6 +4,13 @@ Generates the request streams the paper reasons about: sequential
 streams with a tunable reordering probability (the nfsiod effect) and
 stride streams, so the heuristics can be studied in isolation from the
 full simulator.
+
+Every generator takes an explicit ``rng``; when omitted, each generator
+falls back to its *own* deterministic default stream, derived from the
+module seed and the generator's name (the repository's common-random-
+numbers discipline, :func:`repro.sim.rand.derive_seed`).  The defaults
+are therefore reproducible call to call but never aliased: two different
+generators left on their defaults draw from provably distinct streams.
 """
 
 from __future__ import annotations
@@ -11,9 +18,23 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
+from ..sim.rand import derive_seed
 from .records import TraceRecord
 
 BLOCK = 8 * 1024
+
+#: Master seed for the per-generator default streams.
+DEFAULT_TRACE_SEED = 0x7ACE
+
+
+def default_rng(generator_name: str) -> random.Random:
+    """The deterministic default stream for one named generator.
+
+    A fresh ``Random`` seeded from ``(DEFAULT_TRACE_SEED, name)`` — so
+    repeated calls of one generator reproduce, while distinct generators
+    (``"sequential"``, ``"stride"``, ``"random"``) never share a stream.
+    """
+    return random.Random(derive_seed(DEFAULT_TRACE_SEED, generator_name))
 
 
 def sequential_trace(fh: object, nblocks: int,
@@ -29,12 +50,17 @@ def sequential_trace(fh: object, nblocks: int,
     ``reorder_probability`` a request swaps forward past up to
     ``max_displacement`` successors — small perturbations, exactly the
     kind SlowDown is designed to absorb (§6.2).
+
+    ``rng`` drives the reordering draws; pass your own stream for
+    experiment-controlled randomness.  The default is this generator's
+    private stream (``default_rng("sequential")``), distinct from every
+    other generator's default.
     """
     if not 0.0 <= reorder_probability <= 1.0:
         raise ValueError("probability must be in [0, 1]")
     if max_displacement < 1:
         raise ValueError("displacement must be at least 1")
-    rng = rng or random.Random(0x7ACE)
+    rng = rng or default_rng("sequential")
     order = list(range(nblocks))
     index = 0
     while index < nblocks - 1:
@@ -55,18 +81,41 @@ def sequential_trace(fh: object, nblocks: int,
 
 def stride_trace(fh: object, nblocks: int, strides: int,
                  block_size: int = BLOCK,
-                 inter_arrival: float = 0.0005) -> List[TraceRecord]:
-    """A §7 stride stream: arms visited round-robin, in issue order."""
+                 inter_arrival: float = 0.0005,
+                 arrival_jitter: float = 0.0,
+                 rng: Optional[random.Random] = None) -> List[TraceRecord]:
+    """A §7 stride stream: arms visited round-robin, in issue order.
+
+    ``arrival_jitter`` perturbs each inter-arrival gap by a uniform
+    factor in ``[1 - jitter, 1 + jitter]`` (issue *order* is unchanged —
+    only timestamps wobble, as clock skew would produce in a real
+    trace).  ``rng`` drives those draws; the default is this generator's
+    private stream (``default_rng("stride")``), distinct from every
+    other generator's default.  With ``arrival_jitter=0`` (the default)
+    the stream is fully deterministic and the rng is never consulted.
+    """
     if strides < 1:
         raise ValueError("need at least one stride arm")
+    if not 0.0 <= arrival_jitter < 1.0:
+        raise ValueError("arrival_jitter must be in [0, 1)")
+    rng = rng or default_rng("stride")
     arm_blocks = nblocks // strides
     records = []
     seq = 0
+    clock = 0.0
     for round_index in range(arm_blocks):
         for arm in range(strides):
             block = arm * arm_blocks + round_index
+            if arrival_jitter:
+                when = clock
+                clock += inter_arrival * (
+                    1.0 + arrival_jitter * (2.0 * rng.random() - 1.0))
+            else:
+                # Exact multiples, matching the jitter-free stream the
+                # heuristic unit tests are written against.
+                when = seq * inter_arrival
             records.append(TraceRecord(
-                time=seq * inter_arrival, fh=fh,
+                time=when, fh=fh,
                 offset=block * block_size, count=block_size,
                 client_seq=seq))
             seq += 1
@@ -79,8 +128,13 @@ def random_trace(fh: object, nblocks: int,
                  inter_arrival: float = 0.0005,
                  rng: Optional[random.Random] = None
                  ) -> List[TraceRecord]:
-    """A uniformly random access stream (the read-ahead pessimum)."""
-    rng = rng or random.Random(0x7A2D)
+    """A uniformly random access stream (the read-ahead pessimum).
+
+    ``rng`` draws the block positions; the default is this generator's
+    private stream (``default_rng("random")``), distinct from every
+    other generator's default.
+    """
+    rng = rng or default_rng("random")
     accesses = accesses or nblocks
     return [
         TraceRecord(time=seq * inter_arrival, fh=fh,

@@ -6,6 +6,13 @@ server frequently arrive out of the order the client application issued
 them.  This package provides the record type and the metrics used to
 quantify that — the "more than 10 % of requests reordered" style numbers
 of §6.
+
+The same record type doubles as the unit of the capture/replay subsystem
+(:mod:`repro.replay`): a record captured at the client vnode boundary
+carries, in addition to the passive-trace fields, the *operation kind*,
+the issuing *client index*, and the file *path* — the run-stable
+identity replay needs (file handles are only meaningful within the run
+that minted them).
 """
 
 from __future__ import annotations
@@ -13,17 +20,45 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+#: Operation kinds a captured record may carry.  The passive server-side
+#: trace of §6 only ever records READs; captured client-side traces see
+#: the full vnode-boundary vocabulary.
+OP_READ = "read"
+OP_WRITE = "write"
+OP_OPEN = "open"
+OP_GETATTR = "getattr"
+OP_COMMIT = "commit"
+
+OP_KINDS = (OP_READ, OP_WRITE, OP_OPEN, OP_GETATTR, OP_COMMIT)
+
+#: Ops that move data and therefore must have a positive byte count.
+_DATA_OPS = (OP_READ, OP_WRITE)
+
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One observed NFS READ at the server."""
+    """One observed NFS operation.
 
-    time: float          # arrival time at the server
-    fh: Any              # file handle (hashable)
-    offset: int          # byte offset of the read
-    count: int           # bytes requested
+    In the passive §6 use (server-side arrival trace) only the first
+    five fields are meaningful and ``op`` stays at its ``"read"``
+    default.  Captured client-side traces fill in everything.
+    """
+
+    time: float          # arrival (server trace) or issue (capture) time
+    fh: Any              # file handle / stream key (hashable)
+    offset: int          # byte offset of the access
+    count: int           # bytes requested (0 for metadata ops)
     client_seq: int      # issue order at the client (ground truth)
+    op: str = OP_READ    # operation kind (see OP_KINDS)
+    client: int = 0      # index of the issuing client machine
+    path: str = ""       # file name (run-stable identity for replay)
 
     def __post_init__(self):
-        if self.offset < 0 or self.count <= 0:
+        if self.op not in OP_KINDS:
+            raise ValueError(f"unknown trace op {self.op!r}")
+        if self.offset < 0:
+            raise ValueError("bad trace record range")
+        if self.count <= 0 and self.op in _DATA_OPS:
+            raise ValueError("bad trace record range")
+        if self.count < 0:
             raise ValueError("bad trace record range")

@@ -79,3 +79,78 @@ class TestCli:
         assert "stride" in out.lower()
         assert "paper claim" in out
         assert "|" in out            # the plot was drawn
+
+
+class TestBenchVerb:
+    def test_json_output_parses(self, capsys):
+        import json
+        code = main(["bench", "--readers", "1", "--runs", "2",
+                     "--scale", "0.02", "--json"])
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["verb"] == "bench"
+        assert record["runs"] == 2
+        assert len(record["throughputs_mb_s"]) == 2
+        assert record["mean_mb_s"] > 0
+
+    def test_jobs_do_not_change_the_output(self, capsys):
+        args = ["bench", "--readers", "1", "--runs", "2",
+                "--scale", "0.02", "--json"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Only the echoed jobs count may differ.
+        assert parallel.replace('"jobs": 2', '"jobs": 1') == serial
+
+    def test_prose_output(self, capsys):
+        assert main(["bench", "--readers", "1", "--runs", "1",
+                     "--scale", "0.02"]) == 0
+        assert "MB/s" in capsys.readouterr().out
+
+
+class TestReplayVerb:
+    def test_capture_then_replay_one_invocation(self, tmp_path, capsys):
+        """A UDP/default capture replays against TCP/cursors/improved."""
+        import json
+        trace_path = str(tmp_path / "t.jsonl")
+        code = main(["replay", "--capture", trace_path,
+                     "--replay", trace_path,
+                     "--bench-scale", "0.02", "--readers", "2",
+                     "--target-transport", "tcp",
+                     "--target-heuristic", "cursor",
+                     "--target-nfsheur", "improved",
+                     "--clients", "3", "--json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["clients"] == 3
+        assert summary["ops_completed"] > 0
+        assert summary["errors"] == 0
+
+    def test_replay_is_deterministic_across_invocations(
+            self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.jsonl")
+        assert main(["replay", "--capture", trace_path,
+                     "--bench-scale", "0.02"]) == 0
+        capsys.readouterr()
+        args = ["replay", "--replay", trace_path, "--mode", "open",
+                "--scale", "2.0", "--json"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_needs_capture_or_replay(self, capsys):
+        assert main(["replay"]) == 2
+        assert "need --capture" in capsys.readouterr().err
+
+    def test_missing_trace_file_fails_cleanly(self, tmp_path, capsys):
+        missing = str(tmp_path / "absent.jsonl")
+        assert main(["replay", "--replay", missing]) == 2
+        assert "replay:" in capsys.readouterr().err
+
+    def test_corrupt_trace_file_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["replay", "--replay", str(bad)]) == 2
+        assert "replay:" in capsys.readouterr().err
