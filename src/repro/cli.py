@@ -8,15 +8,21 @@ Examples::
     python -m repro fig7 --runs 5 --seed 42
     python -m repro fig4 --trace out.json   # open out.json in Perfetto
     python -m repro fig1 --metrics          # per-layer metrics report
-    python -m repro bench --readers 4 --runs 10 --jobs 4 --json
+    python -m repro bench --readers 4 --runs 10 --jobs 4 --json \\
+        --out BENCH.json --history
     python -m repro replay --capture t.jsonl --replay t.jsonl \\
         --target-transport tcp --target-heuristic cursor \\
         --target-nfsheur improved --clients 4
+    python -m repro fig2 --trace t.json --metrics-out m.json
+    python -m repro diagnose --trace t.json --metrics m.json
 
-Two extra verbs ride next to the figure ids: ``bench`` (one benchmark
-point, optionally parallel and machine-readable) and ``replay``
+Three extra verbs ride next to the figure ids: ``bench`` (one
+benchmark point, optionally parallel and machine-readable), ``replay``
 (capture a run's vnode-boundary trace and/or replay a trace file
-against an arbitrary testbed; see :mod:`repro.replay`).
+against an arbitrary testbed; see :mod:`repro.replay`), and
+``diagnose`` (critical-path attribution, benchmark-trap detection, and
+the perf-regression gate over previously recorded artifacts; see
+:mod:`repro.diagnose`).
 """
 
 from __future__ import annotations
@@ -60,6 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics", action="store_true",
                         help="collect the per-layer metrics registry and "
                              "print a report after each experiment")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="also write the per-run metric snapshots "
+                             "as JSON to FILE (implies metrics "
+                             "collection; feed it to 'diagnose')")
     return parser
 
 
@@ -71,9 +81,11 @@ def _list_experiments() -> None:
 
 def _run_one(experiment_id: str, args) -> None:
     experiment = get(experiment_id)
+    metrics_out = getattr(args, "metrics_out", None)
     started = time.time()
     with observe(trace=args.trace is not None,
-                 metrics=args.metrics) as session:
+                 metrics=args.metrics or metrics_out is not None
+                 ) as session:
         figure = experiment.run(scale=args.scale, runs=args.runs,
                                 seed=args.seed)
     elapsed = time.time() - started
@@ -85,6 +97,11 @@ def _run_one(experiment_id: str, args) -> None:
     if args.metrics:
         print()
         print(session.metrics_report())
+    if metrics_out is not None:
+        with open(metrics_out, "w") as handle:
+            handle.write(session.metrics_json())
+        print(f"\nmetrics: {len(session.snapshots)} snapshots -> "
+              f"{metrics_out}")
     if args.trace is not None:
         with open(args.trace, "w") as handle:
             handle.write(session.trace_json())
@@ -127,6 +144,18 @@ def _build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", action="store_true",
                         help="print a machine-readable JSON record "
                              "instead of prose")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="also write the JSON record to PATH "
+                             "(implies --json), so CI and the history "
+                             "store consume it without shell "
+                             "redirection")
+    parser.add_argument("--history", metavar="PATH", nargs="?",
+                        const=True, default=None,
+                        help="append the JSON record to the bench "
+                             "history store (default: "
+                             "benchmarks/results/history.jsonl); "
+                             "'diagnose --against' gates future runs "
+                             "on it")
     return parser
 
 
@@ -151,21 +180,29 @@ def _main_bench(argv: List[str]) -> int:
     for throughput in throughputs:
         acc.add(throughput)
     summary = acc.freeze()
-    if args.json:
-        print(json.dumps(
-            {"verb": "bench", "drive": args.drive,
-             "partition": args.partition, "transport": args.transport,
-             "heuristic": args.heuristic, "nfsheur": args.nfsheur,
-             "readers": args.readers, "scale": args.scale,
-             "seed": args.seed, "runs": args.runs, "jobs": args.jobs,
-             "throughputs_mb_s": throughputs,
-             "mean_mb_s": summary.mean, "std_mb_s": summary.std},
-            sort_keys=True))
+    record = {"verb": "bench", "drive": args.drive,
+              "partition": args.partition, "transport": args.transport,
+              "heuristic": args.heuristic, "nfsheur": args.nfsheur,
+              "readers": args.readers, "scale": args.scale,
+              "seed": args.seed, "runs": args.runs, "jobs": args.jobs,
+              "throughputs_mb_s": throughputs,
+              "mean_mb_s": summary.mean, "std_mb_s": summary.std}
+    record_json = json.dumps(record, sort_keys=True)
+    if args.json or args.out is not None:
+        print(record_json)
     else:
         print(f"{args.transport}/{args.heuristic}/{args.nfsheur} "
               f"{args.drive}{args.partition} readers={args.readers}: "
               f"{summary.mean:.2f} +/- {summary.std:.2f} MB/s "
               f"({args.runs} runs, jobs={args.jobs})")
+    if args.out is not None:
+        with open(args.out, "w") as handle:
+            handle.write(record_json + "\n")
+    if args.history is not None:
+        from .diagnose import DEFAULT_HISTORY_PATH, append_history
+        path = (DEFAULT_HISTORY_PATH if args.history is True
+                else args.history)
+        append_history(path, record)
     return 0
 
 
@@ -279,6 +316,65 @@ def _main_replay(argv: List[str]) -> int:
     return 0
 
 
+def _build_diagnose_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nfstricks diagnose",
+        description="Diagnose recorded observability artifacts: "
+                    "attribute end-to-end latency to request-path "
+                    "layers, flag the paper's benchmarking traps with "
+                    "evidence, and gate throughput against the bench "
+                    "history store.  Exit status 1 means the "
+                    "regression gate failed.")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="span export written by '--trace' "
+                             "(Chrome trace_event JSON)")
+    parser.add_argument("--metrics", metavar="FILE", default=None,
+                        help="metrics JSON written by '--metrics-out'")
+    parser.add_argument("--bench", metavar="FILE", default=None,
+                        help="a 'bench --json' record to gate against "
+                             "the history store")
+    parser.add_argument("--against", metavar="FILE", default=None,
+                        help="history store (JSONL) to gate against; "
+                             "without --bench, its newest record is "
+                             "gated against its own past")
+    parser.add_argument("--floor", type=float, default=None,
+                        help="minimum relative regression that gates "
+                             "(default: 0.05, the paper's noise "
+                             "criterion)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the DiagnosisReport as JSON")
+    return parser
+
+
+def _main_diagnose(argv: List[str]) -> int:
+    from .diagnose import (DEFAULT_FLOOR, build_inputs, diagnose,
+                           load_history)
+    args = _build_diagnose_parser().parse_args(argv)
+    if not (args.trace or args.metrics or args.against):
+        print("diagnose: need at least one of --trace/--metrics/"
+              "--against", file=sys.stderr)
+        return 2
+    if args.bench is not None and args.against is None:
+        print("diagnose: --bench needs --against HISTORY",
+              file=sys.stderr)
+        return 2
+    try:
+        inputs = build_inputs(trace_path=args.trace,
+                              metrics_path=args.metrics,
+                              bench_path=args.bench)
+        history = (load_history(args.against)
+                   if args.against is not None else None)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"diagnose: {error}", file=sys.stderr)
+        return 2
+    floor = DEFAULT_FLOOR if args.floor is None else args.floor
+    report = diagnose(inputs, history=history, floor=floor)
+    print(report.to_json() if args.json else report.render())
+    if report.gate is not None and not report.gate.ok:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -286,6 +382,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _main_bench(argv[1:])
     if argv and argv[0] == "replay":
         return _main_replay(argv[1:])
+    if argv and argv[0] == "diagnose":
+        return _main_diagnose(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         _list_experiments()

@@ -1,0 +1,39 @@
+"""Trap diagnosis: turn observability streams into a verdict.
+
+The paper's larger half is a catalogue of benchmarking *traps* — ZCAV
+zoning, tagged command queues, scheduler fairness, cache warmth — that
+silently swamp the effect under measurement.  ``repro.obs`` records
+everything; this package reads those recordings and answers the two
+questions a benchmarker actually has:
+
+* **which trap is biting this run** — :mod:`.detectors`, a battery of
+  deterministic, evidence-carrying trap detectors;
+* **which layer moved** — :mod:`.attribution`, critical-path
+  attribution of end-to-end latency across the request-path layers,
+  and :mod:`.history`, the bench-history store with a noise-aware
+  perf-regression gate.
+
+Entry point: :func:`diagnose` (wired to the ``repro diagnose`` CLI
+verb).
+"""
+
+from .attribution import attribute_runs, dominant_by_config
+from .detectors import default_detectors, run_detectors
+from .detectors.base import TrapDetector
+from .engine import diagnose
+from .history import (DEFAULT_FLOOR, DEFAULT_HISTORY_PATH, append_history,
+                      bench_key, compare_against_history, gate_latest,
+                      load_history, relative_spread)
+from .inputs import DiagnosisInputs, build_inputs, split_runs
+from .report import DiagnosisReport, Finding, GateResult, LayerAttribution
+
+__all__ = [
+    "DiagnosisInputs", "DiagnosisReport", "Finding", "GateResult",
+    "LayerAttribution", "TrapDetector",
+    "attribute_runs", "dominant_by_config",
+    "default_detectors", "run_detectors", "diagnose",
+    "build_inputs", "split_runs",
+    "DEFAULT_FLOOR", "DEFAULT_HISTORY_PATH", "append_history",
+    "bench_key", "compare_against_history", "gate_latest",
+    "load_history", "relative_spread",
+]

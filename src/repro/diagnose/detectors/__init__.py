@@ -1,0 +1,61 @@
+"""Pluggable benchmark-trap detectors.
+
+Each detector inspects the :class:`~repro.diagnose.inputs.DiagnosisInputs`
+for the signature of one trap the paper catalogues and returns zero or
+more :class:`~repro.diagnose.report.Finding`\\ s.  Detectors obey three
+rules:
+
+* **Deterministic** — same inputs, identical findings (order, values,
+  serialisation).  No randomness, no wall-clock, no ambient state.
+* **Evidence-carrying** — a finding names the metrics/spans and the
+  observed magnitudes that triggered it, plus the paper section that
+  describes the trap, so the report argues rather than asserts.
+* **Conservative** — detectors demand a minimum sample size before
+  claiming a trap, because a handful of requests cannot support one;
+  a clean run must produce a clean report.
+
+``default_detectors()`` returns the built-in battery in a fixed order;
+``run_detectors`` is the engine's entry point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..inputs import DiagnosisInputs
+from ..report import Finding
+from .backlog import OpenLoopBacklogDetector
+from .base import TrapDetector
+from .fairness import BufqFairnessDetector
+from .nfsheur import NfsheurThrashDetector
+from .tcq import TcqReorderingDetector
+from .warmth import CacheWarmthDetector
+from .zcav import ZcavDetector
+
+
+def default_detectors() -> List[TrapDetector]:
+    """The built-in battery, in report order."""
+    return [
+        ZcavDetector(),
+        TcqReorderingDetector(),
+        BufqFairnessDetector(),
+        NfsheurThrashDetector(),
+        CacheWarmthDetector(),
+        OpenLoopBacklogDetector(),
+    ]
+
+
+def run_detectors(inputs: DiagnosisInputs,
+                  detectors: Optional[Sequence[TrapDetector]] = None
+                  ) -> List[Finding]:
+    findings: List[Finding] = []
+    for detector in (default_detectors() if detectors is None
+                     else detectors):
+        findings.extend(detector.detect(inputs))
+    return findings
+
+
+__all__ = ["TrapDetector", "default_detectors", "run_detectors",
+           "ZcavDetector", "TcqReorderingDetector",
+           "BufqFairnessDetector", "NfsheurThrashDetector",
+           "CacheWarmthDetector", "OpenLoopBacklogDetector"]

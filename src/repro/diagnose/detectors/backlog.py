@@ -1,0 +1,87 @@
+"""Open-loop replay backlog divergence: measuring the queue, not the
+system.
+
+An open-loop replay issues requests on the captured timestamps
+regardless of completions.  When the target cannot keep up, lateness
+compounds: every subsequent request starts further behind schedule,
+the backlog grows without bound, and reported latency/throughput
+describe the replay tool's queue rather than the system under test —
+the divergence trap of open-loop load generation (cf. the paper's §4.2
+methodology discussion: a benchmark must check that it measures what
+it claims to measure).
+
+Signature: replay gauges present, with either completions falling
+short of the offered ops or per-op completion lateness that is large
+against the schedule's own inter-arrival spacing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..inputs import DiagnosisInputs
+from ..report import Finding
+from .base import TrapDetector
+
+#: Mean lateness per completed op, in units of the schedule's mean
+#: inter-arrival gap, above which the replay has diverged.
+LATENESS_GAP_RATIO = 2.0
+MIN_OPS = 50
+
+
+class OpenLoopBacklogDetector(TrapDetector):
+
+    name = "backlog"
+    trap = "open-loop replay backlog divergence"
+    paper_section = "§4.2"
+
+    def detect(self, inputs: DiagnosisInputs) -> List[Finding]:
+        worst = None
+        affected = 0
+        eligible = 0
+        for snapshot in inputs.snapshots:
+            gauges = snapshot.get("gauges", {})
+            offered = gauges.get("replay.offered_ops", 0.0)
+            if offered < MIN_OPS:
+                continue
+            eligible += 1
+            completed = gauges.get("replay.completed_ops", 0.0)
+            lateness = gauges.get("replay.lateness_s", 0.0)
+            rate = gauges.get("replay.offered_ops_s", 0.0)
+            gap = 1.0 / rate if rate > 0 else 0.0
+            per_op = lateness / completed if completed > 0 else 0.0
+            shortfall = (offered - completed) / offered
+            diverged = shortfall > 0.01 or (
+                gap > 0 and per_op >= LATENESS_GAP_RATIO * gap)
+            if not diverged:
+                continue
+            affected += 1
+            score = max(shortfall, per_op / gap if gap > 0 else 0.0)
+            if worst is None or score > worst[0]:
+                worst = (score, offered, completed, per_op, gap,
+                         snapshot.get("_context"))
+        if worst is None:
+            return []
+        score, offered, completed, per_op, gap, context = worst
+        severity = "critical" if score >= 10 else "warning"
+        where = f" (worst at {context})" if context else ""
+        return [self.finding(
+            severity=severity,
+            magnitude=score,
+            message=(f"open-loop replay fell behind its schedule in "
+                     f"{affected} of {eligible} eligible run(s){where}: "
+                     f"{completed:.0f}/{offered:.0f} ops completed with "
+                     f"mean lateness {per_op:.3f}s per op against a "
+                     f"{gap:.3f}s inter-arrival gap — the offered load "
+                     f"exceeds capacity and the numbers describe the "
+                     f"backlog, not the system under test"),
+            evidence={
+                "metric": ("replay.offered_ops / replay.completed_ops / "
+                           "replay.lateness_s"),
+                "offered_ops": offered,
+                "completed_ops": completed,
+                "lateness_per_op_s": per_op,
+                "interarrival_gap_s": gap,
+                "affected_runs": affected,
+                "eligible_runs": eligible,
+            })]

@@ -1,0 +1,31 @@
+"""The detector contract (see the package docstring for the rules)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..inputs import DiagnosisInputs
+from ..report import Finding
+
+
+class TrapDetector:
+    """Interface every detector implements.
+
+    Subclasses set ``name`` (machine id, also the findings' ``detector``
+    field), ``trap`` (human title), and ``paper_section`` (citation),
+    and implement :meth:`detect`.
+    """
+
+    name: str = "base"
+    trap: str = "base trap"
+    paper_section: str = "§?"
+
+    def detect(self, inputs: DiagnosisInputs) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, severity: str, magnitude: float, message: str,
+                evidence: dict) -> Finding:
+        return Finding(detector=self.name, trap=self.trap,
+                       severity=severity, magnitude=magnitude,
+                       paper_section=self.paper_section,
+                       message=message, evidence=evidence)

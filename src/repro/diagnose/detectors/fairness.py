@@ -1,0 +1,134 @@
+"""Bufq fairness starvation: the elevator serving some readers last.
+
+§5.3 (Figure 3): under concurrent load the kernel's elevator services
+requests in block order, so readers whose files sit where the sweep is
+currently passing finish early while the rest starve — per-process
+completion times form a staircase, and "throughput" silently becomes a
+statement about the *last* process.  A mean over such runs mixes two
+regimes (many readers, then few).
+
+Signature, per run: four or more concurrent readers whose completion
+times spread widely, where the spread is explained by time parked in
+the disk queue (``kernel.bufq`` residency) rather than by differing
+work: the starved readers' bufq time dominates their extra latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..attribution import exclusive_times
+from ..inputs import DiagnosisInputs
+from ..report import Finding
+from ...obs.span import Span
+from .base import TrapDetector
+
+#: Completion-time spread (max-min over max) that counts as a staircase.
+SPREAD_THRESHOLD = 0.4
+#: The starved reader must spend at least this share of its life in the
+#: bufq for the queue to be the culprit.
+BUFQ_SHARE_THRESHOLD = 0.3
+#: ...and the bufq-time imbalance must explain at least this fraction
+#: of the completion spread.
+EXPLAINED_THRESHOLD = 0.5
+MIN_READERS = 4
+
+
+def _roots(run: List[Span]) -> List[Span]:
+    return [span for span in run
+            if span.parent_id is None and span.cat == "bench"]
+
+
+def _root_of(span: Span, by_id: Dict[int, Span],
+             cache: Dict[int, Optional[int]]) -> Optional[int]:
+    trail = []
+    current: Optional[Span] = span
+    while current is not None:
+        if current.id in cache:
+            root = cache[current.id]
+            break
+        trail.append(current.id)
+        if current.parent_id is None:
+            root = current.id
+            break
+        current = by_id.get(current.parent_id)
+    else:
+        root = None
+    for span_id in trail:
+        cache[span_id] = root
+    return root
+
+
+def _run_verdict(run: List[Span]) -> Optional[dict]:
+    """Per-run fairness stats, or None when the run is not eligible."""
+    roots = _roots(run)
+    if len(roots) < MIN_READERS:
+        return None
+    by_id = {span.id: span for span in run}
+    cache: Dict[int, Optional[int]] = {}
+    exclusive = exclusive_times(run)
+    bufq_by_root: Dict[int, float] = {root.id: 0.0 for root in roots}
+    for span in run:
+        if span.cat != "kernel.bufq":
+            continue
+        root = _root_of(span, by_id, cache)
+        if root in bufq_by_root:
+            bufq_by_root[root] += exclusive[span.id]
+    durations = sorted(root.duration for root in roots)
+    longest, shortest = durations[-1], durations[0]
+    if longest <= 0:
+        return None
+    spread = (longest - shortest) / longest
+    bufq_times = sorted(bufq_by_root.values())
+    bufq_imbalance = bufq_times[-1] - bufq_times[0]
+    duration_spread = longest - shortest
+    starved_share = bufq_times[-1] / longest
+    fired = (spread >= SPREAD_THRESHOLD
+             and starved_share >= BUFQ_SHARE_THRESHOLD
+             and duration_spread > 0
+             and bufq_imbalance >= EXPLAINED_THRESHOLD * duration_spread)
+    return {
+        "fired": fired,
+        "readers": len(roots),
+        "spread": spread,
+        "starved_bufq_share": starved_share,
+        "bufq_imbalance_s": bufq_imbalance,
+        "completion_spread_s": duration_spread,
+    }
+
+
+class BufqFairnessDetector(TrapDetector):
+
+    name = "fairness"
+    trap = "bufq fairness starvation"
+    paper_section = "§5.3"
+
+    def detect(self, inputs: DiagnosisInputs) -> List[Finding]:
+        verdicts = [verdict for verdict in
+                    (_run_verdict(run) for run in inputs.runs)
+                    if verdict is not None]
+        fired = [verdict for verdict in verdicts if verdict["fired"]]
+        if not verdicts or len(fired) * 2 <= len(verdicts):
+            return []
+        worst = max(fired, key=lambda verdict: verdict["spread"])
+        severity = "critical" if worst["spread"] >= 0.6 else "warning"
+        return [self.finding(
+            severity=severity,
+            magnitude=worst["spread"],
+            message=(f"per-reader completion times spread "
+                     f"{worst['spread']:.0%} in {len(fired)} of "
+                     f"{len(verdicts)} eligible runs, and the spread is "
+                     f"bufq residency, not work: the disk queue is "
+                     f"starving some readers — mean throughput over "
+                     f"such a run mixes an N-reader regime with a "
+                     f"few-reader tail"),
+            evidence={
+                "span_category": "kernel.bufq",
+                "readers": worst["readers"],
+                "completion_spread": worst["spread"],
+                "starved_bufq_share": worst["starved_bufq_share"],
+                "bufq_imbalance_s": worst["bufq_imbalance_s"],
+                "completion_spread_s": worst["completion_spread_s"],
+                "runs_affected": len(fired),
+                "runs_eligible": len(verdicts),
+            })]

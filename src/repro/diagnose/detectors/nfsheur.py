@@ -1,0 +1,92 @@
+"""nfsheur eviction thrash: sequentiality state evicted before reuse.
+
+§6.3 / §7: the FreeBSD NFS server keeps per-file read-ahead state in a
+small fixed hash table (nfsheur).  Once the active file population
+outgrows it, entries are ejected between a file's own accesses, the
+accumulated sequentiality score is lost, and *every* server heuristic
+degrades toward no-read-ahead — which is why the paper's SlowDown
+change showed no benefit until the table was enlarged.  A benchmark
+sweep that crosses the table-size boundary mid-sweep is comparing a
+cached regime against a thrashing one without knowing it.
+
+Signature: plenty of lookups, a materially sub-unity hit rate, and an
+ejection rate that says misses come from displacement (the table full
+and recycling) rather than from first touches of a cold table.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..inputs import DiagnosisInputs
+from ..report import Finding
+from .base import TrapDetector
+
+#: Below this hit rate, read-ahead state is effectively not persisting.
+HIT_RATE_COLLAPSE = 0.60
+#: Ejections per lookup that mark displacement (not cold-start) misses.
+EJECTION_RATE_THRESHOLD = 0.10
+#: Minimum lookups in a run before the claim is statistically worth
+#: making — a smoke run's handful of reads proves nothing.
+MIN_LOOKUPS = 200
+#: Fraction of eligible runs that must thrash before the trap verdict:
+#: a sweep whose extreme tail alone outgrows the table is *measuring*
+#: the boundary, not unknowingly benchmarking on the wrong side of it.
+AFFECTED_FRACTION = 1.0 / 3.0
+
+
+class NfsheurThrashDetector(TrapDetector):
+
+    name = "nfsheur"
+    trap = "nfsheur eviction thrash"
+    paper_section = "§6.3"
+
+    def detect(self, inputs: DiagnosisInputs) -> List[Finding]:
+        worst = None
+        affected = 0
+        eligible = 0
+        for snapshot in inputs.snapshots:
+            gauges = snapshot.get("gauges", {})
+            lookups = gauges.get("nfs.server.nfsheur_lookups", 0.0)
+            if lookups < MIN_LOOKUPS:
+                continue
+            eligible += 1
+            hit_rate = gauges.get("nfs.server.nfsheur_hit_rate", 1.0)
+            ejections = gauges.get("nfs.server.nfsheur_ejections", 0.0)
+            ejection_rate = ejections / lookups
+            if hit_rate <= HIT_RATE_COLLAPSE and \
+                    ejection_rate >= EJECTION_RATE_THRESHOLD:
+                affected += 1
+                if worst is None or hit_rate < worst[0]:
+                    worst = (hit_rate, ejection_rate, lookups,
+                             gauges.get("nfs.server.nfsheur_table_size",
+                                        0.0),
+                             gauges.get("nfs.server.nfsheur_occupancy",
+                                        0.0),
+                             snapshot.get("_context"))
+        if worst is None or affected <= eligible * AFFECTED_FRACTION:
+            return []
+        hit_rate, ejection_rate, lookups, table, occupancy, context = worst
+        severity = "critical" if hit_rate <= 0.4 else "warning"
+        where = f" (worst at {context})" if context else ""
+        return [self.finding(
+            severity=severity,
+            magnitude=1.0 - hit_rate,
+            message=(f"nfsheur hit rate collapsed to {hit_rate:.0%} with "
+                     f"{ejection_rate:.0%} of lookups ejecting a live "
+                     f"entry in {affected} of {eligible} eligible "
+                     f"run(s){where}: the active file population has "
+                     f"outgrown the {table:.0f}-slot table and read-ahead "
+                     f"state is being destroyed between accesses — "
+                     f"enlarge nfsheur before comparing heuristics"),
+            evidence={
+                "metric": ("nfs.server.nfsheur_hit_rate / "
+                           "nfs.server.nfsheur_ejections"),
+                "hit_rate": hit_rate,
+                "ejection_rate": ejection_rate,
+                "lookups": lookups,
+                "table_size": table,
+                "occupancy": occupancy,
+                "affected_runs": affected,
+                "eligible_runs": eligible,
+            })]

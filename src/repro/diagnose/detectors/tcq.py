@@ -1,0 +1,78 @@
+"""Tagged command queues reordering requests under the kernel's nose.
+
+§5.2: with TCQ enabled the drive's firmware — not the kernel elevator —
+decides service order, so experiments about kernel disk scheduling are
+really measuring the firmware's scheduler ("the sort in the device
+driver has little effect because the drive immediately accepts every
+request into its own queue").  The authors had to disable tags before
+their scheduler results meant anything.
+
+Signature: the drive reports tagged queueing enabled, a material
+fraction of commands completed out of submission order, and commands
+actually spent time queued in the drive (the TCQ-residency histogram is
+populated).  Any one of these alone is harmless; together they mean the
+measurement is of the firmware, not the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..inputs import DiagnosisInputs
+from ..report import Finding
+from .base import TrapDetector
+
+#: Fraction of commands serviced out of order before we call it
+#: reordering (firmware can swap the odd pair benignly).
+REORDER_THRESHOLD = 0.05
+#: Minimum commands through the TCQ for the claim to mean anything.
+MIN_TCQ_COMMANDS = 50
+
+
+class TcqReorderingDetector(TrapDetector):
+
+    name = "tcq"
+    trap = "TCQ reordering masking scheduler effects"
+    paper_section = "§5.2"
+
+    def detect(self, inputs: DiagnosisInputs) -> List[Finding]:
+        worst = None
+        affected = 0
+        commands = 0
+        for snapshot in inputs.snapshots:
+            gauges = snapshot.get("gauges", {})
+            if gauges.get("disk.tcq_enabled", 0.0) <= 0:
+                continue
+            reorder = gauges.get("disk.reorder_fraction", 0.0)
+            hist = snapshot.get("histograms", {}).get("disk.tcq_wait_s")
+            count = hist["count"] if hist else 0
+            commands += count
+            if reorder >= REORDER_THRESHOLD:
+                affected += 1
+                context = snapshot.get("_context")
+                if worst is None or reorder > worst[0]:
+                    worst = (reorder, gauges.get("disk.tcq_depth", 0.0),
+                             hist["mean"] if hist else 0.0, context)
+        if worst is None or commands < MIN_TCQ_COMMANDS:
+            return []
+        reorder, depth, tcq_wait_mean, context = worst
+        severity = "critical" if reorder >= 0.2 else "warning"
+        where = f" (worst at {context})" if context else ""
+        return [self.finding(
+            severity=severity,
+            magnitude=reorder,
+            message=(f"tagged command queueing is enabled and the drive "
+                     f"serviced {reorder:.0%} of commands out of "
+                     f"submission order in {affected} run(s){where}: "
+                     f"the firmware scheduler, not the kernel elevator, "
+                     f"is ordering I/O — disable tags before drawing "
+                     f"scheduler conclusions"),
+            evidence={
+                "metric": ("disk.tcq_enabled / disk.reorder_fraction / "
+                           "disk.tcq_wait_s"),
+                "reorder_fraction": reorder,
+                "tcq_depth": depth,
+                "tcq_wait_mean_s": tcq_wait_mean,
+                "affected_runs": affected,
+                "tcq_commands": commands,
+            })]

@@ -1,0 +1,89 @@
+"""Cache-warmth contamination between benchmark repeats.
+
+§4.3.1: the paper's protocol goes out of its way to defeat caches
+between runs (unmount, remount, read a decoy working set) because a
+repeat that finds the server's buffer cache — or the drive's firmware
+cache — already warm measures memory, not the disk path.  The classic
+symptom is repeats that get *faster* as the series progresses, with
+cache hit rates climbing in step.
+
+Signature: within the repeats of one configuration (grouped by the
+sweep-context stamp when present), the first run's cache hit rate is
+materially below every later run's — the first repeat did the real
+I/O and the rest inherited its cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..inputs import DiagnosisInputs
+from ..report import Finding
+from .base import TrapDetector
+
+#: Later repeats must beat the first by this much hit rate.
+WARMUP_DELTA = 0.15
+#: Hit-rate gauges that betray a warm start, checked independently.
+CACHE_GAUGES = ("kernel.cache.hit_rate", "disk.cache.hit_rate")
+MIN_REPEATS = 3
+
+
+def _grouped_rates(inputs: DiagnosisInputs,
+                   gauge: str) -> Dict[str, List[float]]:
+    """Hit-rate series per repeat group, in snapshot (= repeat) order."""
+    groups: Dict[str, List[float]] = {}
+    for snapshot in inputs.snapshots:
+        gauges = snapshot.get("gauges", {})
+        if gauge not in gauges:
+            continue
+        context = snapshot.get("_context") or {}
+        key = ",".join(f"{k}={context[k]}" for k in sorted(context)) \
+            or "all"
+        groups.setdefault(key, []).append(gauges[gauge])
+    return groups
+
+
+class CacheWarmthDetector(TrapDetector):
+
+    name = "warmth"
+    trap = "cache-warmth contamination between repeats"
+    paper_section = "§4.3.1"
+
+    def detect(self, inputs: DiagnosisInputs) -> List[Finding]:
+        worst: Optional[Tuple[float, str, str, float, float]] = None
+        affected = 0
+        eligible = 0
+        for gauge in CACHE_GAUGES:
+            for key, rates in _grouped_rates(inputs, gauge).items():
+                if len(rates) < MIN_REPEATS:
+                    continue
+                eligible += 1
+                first, later = rates[0], rates[1:]
+                delta = min(later) - first
+                if delta < WARMUP_DELTA:
+                    continue
+                affected += 1
+                mean_later = sum(later) / len(later)
+                if worst is None or delta > worst[0]:
+                    worst = (delta, gauge, key, first, mean_later)
+        if worst is None:
+            return []
+        delta, gauge, key, first, mean_later = worst
+        severity = "critical" if delta >= 0.3 else "warning"
+        return [self.finding(
+            severity=severity,
+            magnitude=delta,
+            message=(f"{gauge} rose from {first:.0%} on the first repeat "
+                     f"to {mean_later:.0%} on every later repeat of "
+                     f"'{key}': later runs are reading the cache the "
+                     f"first run populated — re-apply the cache-defeat "
+                     f"protocol between repeats"),
+            evidence={
+                "metric": gauge,
+                "group": key,
+                "first_repeat_hit_rate": first,
+                "later_repeats_mean_hit_rate": mean_later,
+                "min_warmup_delta": delta,
+                "groups_affected": affected,
+                "groups_eligible": eligible,
+            })]

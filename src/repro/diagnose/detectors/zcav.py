@@ -1,0 +1,130 @@
+"""ZCAV zone drift: throughput correlated with block-address zone.
+
+§5.1 of the paper: modern drives record more sectors on outer
+cylinders, so the same benchmark run on an outer partition moves
+15–50 % more data per second than on an inner one — a difference that
+"dwarfs the improvements reported for many file system enhancements".
+The drive's per-zone byte counters expose exactly where each run's
+blocks lived; this detector looks for runs whose disk throughput is
+correlated with that zone position.
+
+To avoid blaming zones for what is really a workload difference, runs
+are first grouped by their sweep context (same series x-position, e.g.
+"8 readers") and zones are compared *within* a group; without context
+the comparison falls back to all runs with a stricter threshold.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..inputs import DiagnosisInputs
+from ..report import Finding
+from .base import TrapDetector
+
+_ZONE_BYTES = re.compile(r"^disk\.zone(\d+)\.bytes_read$")
+
+#: Ignore runs that moved less than this through the disk: a few
+#: hundred KB cannot support a zone-throughput claim.
+MIN_BYTES = 4 * 1024 * 1024
+#: Outer/inner rate ratio above which the trap fires (with context);
+#: the uncontrolled fallback demands more.
+RATIO_THRESHOLD = 1.15
+RATIO_THRESHOLD_UNGROUPED = 1.35
+#: Minimum normalized radial separation between the zone bands being
+#: compared (0 = outermost edge, 1 = innermost).
+MIN_BAND_GAP = 0.25
+
+
+def _zone_point(inputs: DiagnosisInputs,
+                snapshot: dict) -> Optional[Tuple[float, float]]:
+    """(normalized zone position, disk MB/s) for one run, or None."""
+    gauges = snapshot.get("gauges", {})
+    zones: List[Tuple[int, float]] = []
+    num_zones = 0
+    for name, value in gauges.items():
+        match = _ZONE_BYTES.match(name)
+        if not match:
+            continue
+        num_zones += 1
+        if value > 0:
+            zones.append((int(match.group(1)), value))
+    total_bytes = sum(nbytes for _zone, nbytes in zones)
+    if num_zones < 2 or total_bytes < MIN_BYTES:
+        return None
+    position = sum(zone * nbytes for zone, nbytes in zones) \
+        / total_bytes / (num_zones - 1)
+    rate = sum(gauges.get(f"disk.zone{zone}.mb_s", 0.0)
+               for zone, _nbytes in zones)
+    if rate <= 0:
+        return None
+    return position, rate
+
+
+class ZcavDetector(TrapDetector):
+
+    name = "zcav"
+    trap = "ZCAV zone drift"
+    paper_section = "§5.1"
+
+    def detect(self, inputs: DiagnosisInputs) -> List[Finding]:
+        groups: Dict[str, List[Tuple[float, float]]] = {}
+        grouped = True
+        for snapshot in inputs.snapshots:
+            point = _zone_point(inputs, snapshot)
+            if point is None:
+                continue
+            context = snapshot.get("_context") or {}
+            keys = [f"{k}={context[k]}" for k in sorted(context)
+                    if k != "series"]
+            if keys:
+                groups.setdefault(",".join(keys), []).append(point)
+            else:
+                grouped = False
+                groups.setdefault("all", []).append(point)
+        threshold = (RATIO_THRESHOLD if grouped
+                     else RATIO_THRESHOLD_UNGROUPED)
+        ratios: List[Tuple[float, float, float, float]] = []
+        for points in groups.values():
+            if len(points) < 2:
+                continue
+            # Compare the outer-band runs against the inner-band runs as
+            # *means*, so a slow outer drive cannot mask the zone effect
+            # of a fast one (fig1 mixes IDE and SCSI in one group).
+            outer = [(pos, rate) for pos, rate in points if pos <= 0.4]
+            inner = [(pos, rate) for pos, rate in points if pos >= 0.6]
+            if not outer or not inner:
+                continue
+            outer_pos = sum(pos for pos, _ in outer) / len(outer)
+            inner_pos = sum(pos for pos, _ in inner) / len(inner)
+            outer_rate = sum(rate for _, rate in outer) / len(outer)
+            inner_rate = sum(rate for _, rate in inner) / len(inner)
+            if inner_pos - outer_pos < MIN_BAND_GAP or inner_rate <= 0:
+                continue
+            ratios.append((outer_rate / inner_rate, outer_rate,
+                           inner_rate, inner_pos - outer_pos))
+        if not ratios:
+            return []
+        ratios.sort()
+        median = ratios[len(ratios) // 2]
+        ratio, outer_rate, inner_rate, gap = median
+        if ratio < threshold:
+            return []
+        severity = "critical" if ratio >= 1.3 else "warning"
+        return [self.finding(
+            severity=severity,
+            magnitude=ratio - 1.0,
+            message=(f"disk throughput varies {ratio:.2f}x with zone "
+                     f"position across otherwise-identical runs: the "
+                     f"ZCAV effect, not the variable under test, is "
+                     f"moving the numbers (median of {len(ratios)} "
+                     f"matched comparisons)"),
+            evidence={
+                "metric": "disk.zone*.mb_s / disk.zone*.bytes_read",
+                "outer_band_mb_s": outer_rate,
+                "inner_band_mb_s": inner_rate,
+                "rate_ratio": ratio,
+                "band_gap": gap,
+                "comparisons": len(ratios),
+            })]

@@ -1,0 +1,56 @@
+"""The diagnosis engine: inputs in, :class:`DiagnosisReport` out.
+
+Ties the three pillars together: critical-path attribution over the
+span runs, the trap-detector battery over spans + metrics, and the
+perf-regression gate over a bench record and the history store.  Pure
+function of its inputs — diagnosing the same artifacts twice yields a
+byte-identical report.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .attribution import attribute_runs, dominant_by_config
+from .detectors import run_detectors
+from .detectors.base import TrapDetector
+from .history import DEFAULT_FLOOR, compare_against_history, gate_latest
+from .inputs import DiagnosisInputs
+from .report import DiagnosisReport, GateResult
+
+
+def diagnose(inputs: DiagnosisInputs,
+             history: Optional[List[dict]] = None,
+             floor: float = DEFAULT_FLOOR,
+             detectors: Optional[Sequence[TrapDetector]] = None
+             ) -> DiagnosisReport:
+    """Run attribution, the detector battery, and (optionally) the gate.
+
+    ``history`` is the loaded history store.  If ``inputs.bench`` is
+    set it is gated against the history; otherwise the store's newest
+    record is gated against its own past.
+    """
+    report = DiagnosisReport(
+        runs=len(inputs.runs),
+        spans=sum(len(run) for run in inputs.runs),
+        snapshots=len(inputs.snapshots))
+    if inputs.runs:
+        table, end_to_end, dominant = attribute_runs(
+            inputs.runs, inputs.merged or None)
+        report.attribution = table
+        report.end_to_end_s = end_to_end
+        report.dominant = dominant
+        report.dominant_by_config = dominant_by_config(
+            inputs.runs, inputs.snapshots)
+    report.findings = run_detectors(inputs, detectors)
+    if history is not None:
+        report.gate = _gate(inputs, history, floor)
+    return report
+
+
+def _gate(inputs: DiagnosisInputs, history: List[dict],
+          floor: float) -> GateResult:
+    if inputs.bench is not None:
+        return compare_against_history(inputs.bench, history,
+                                       floor=floor)
+    return gate_latest(history, floor=floor)

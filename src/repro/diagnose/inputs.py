@@ -1,0 +1,105 @@
+"""Loading and shaping the diagnosis inputs.
+
+The engine consumes the artifacts the observability layer already
+produces — a Chrome ``trace_event`` span export (``--trace``), the
+metrics JSON written by ``--metrics-out`` (per-run snapshots plus the
+merged view), and optionally a ``BENCH_*.json`` record — and reshapes
+them into one :class:`DiagnosisInputs` that attribution and every
+detector share.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.export import loads_trace
+from ..obs.metrics import merge_snapshots
+from ..obs.span import Span
+
+
+@dataclass
+class DiagnosisInputs:
+    """Everything the attribution pass and the detectors can look at."""
+
+    #: Span streams, one list per simulated run (each run restarts the
+    #: simulation clock, so nesting is only meaningful within a run).
+    runs: List[List[Span]] = field(default_factory=list)
+    #: Per-run metric snapshots, possibly stamped with a ``_context``
+    #: dict naming the sweep point that produced them.
+    snapshots: List[dict] = field(default_factory=list)
+    #: The merged (summed/averaged) view of ``snapshots``.
+    merged: dict = field(default_factory=dict)
+    #: A ``bench --json`` record, when diagnosing a benchmark point.
+    bench: Optional[dict] = None
+
+    @property
+    def spans(self) -> List[Span]:
+        return [span for run in self.runs for span in run]
+
+    def gauge(self, snapshot: dict, name: str,
+              default: float = 0.0) -> float:
+        return snapshot.get("gauges", {}).get(name, default)
+
+    def contexts(self) -> List[Optional[dict]]:
+        return [snap.get("_context") for snap in self.snapshots]
+
+
+def split_runs(spans: List[Span]) -> List[List[Span]]:
+    """Split a session-wide span stream back into per-run streams.
+
+    Sessions stamp every span with its run index (``args["run"]``);
+    exports preserve it, so re-imported traces split losslessly.  A
+    stream with no run stamps is treated as a single run.
+    """
+    by_run: Dict[int, List[Span]] = {}
+    for span in spans:
+        run = span.args.get("run", 0)
+        by_run.setdefault(run if isinstance(run, int) else 0,
+                          []).append(span)
+    return [by_run[run] for run in sorted(by_run)]
+
+
+def load_trace_file(path: str) -> List[List[Span]]:
+    """Read a ``--trace`` export back into per-run span streams."""
+    with open(path) as handle:
+        text = handle.read()
+    return split_runs(loads_trace(text))
+
+
+def load_metrics_file(path: str) -> Tuple[List[dict], dict]:
+    """Read a ``--metrics-out`` file (or a bare snapshot dict).
+
+    Accepts either the session format ``{"snapshots": [...],
+    "merged": {...}}`` or a single registry snapshot, for ad-hoc use.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    if "snapshots" in payload:
+        snapshots = payload["snapshots"]
+        merged = payload.get("merged") or merge_snapshots(
+            [snap for snap in snapshots])
+        return snapshots, merged
+    return [payload], merge_snapshots([payload])
+
+
+def load_bench_file(path: str) -> dict:
+    with open(path) as handle:
+        record = json.load(handle)
+    if not isinstance(record, dict):
+        raise ValueError(f"{path}: expected a bench JSON object")
+    return record
+
+
+def build_inputs(trace_path: Optional[str] = None,
+                 metrics_path: Optional[str] = None,
+                 bench_path: Optional[str] = None) -> DiagnosisInputs:
+    inputs = DiagnosisInputs()
+    if trace_path is not None:
+        inputs.runs = load_trace_file(trace_path)
+    if metrics_path is not None:
+        inputs.snapshots, inputs.merged = load_metrics_file(metrics_path)
+    if bench_path is not None:
+        inputs.bench = load_bench_file(bench_path)
+    return inputs

@@ -1,0 +1,180 @@
+"""The structured output of the trap-diagnosis engine.
+
+A :class:`DiagnosisReport` is what ``repro diagnose`` hands back: a
+critical-path attribution table (where did the end-to-end time go,
+layer by layer), a list of trap :class:`Finding`\\ s (which of the
+paper's benchmarking traps is biting this run, with evidence), and an
+optional perf-regression :class:`GateResult` (did this configuration
+get slower than its history says it should be).
+
+Everything serialises to deterministic JSON — sorted keys, compact
+separators — so diagnosing the same inputs twice yields byte-identical
+reports, which is what the determinism battery asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Finding:
+    """One detected benchmarking trap, with its evidence.
+
+    ``evidence`` maps metric/span identifiers to the observed values
+    that triggered the detector — the report is an argument, not a
+    verdict, so a reader can check the numbers against the raw
+    streams.  ``paper_section`` cites where the trap is described.
+    """
+
+    detector: str
+    trap: str
+    severity: str            # "info" | "warning" | "critical"
+    magnitude: float         # dimensionless effect size (detector-defined)
+    paper_section: str
+    message: str
+    evidence: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "detector": self.detector,
+            "trap": self.trap,
+            "severity": self.severity,
+            "magnitude": self.magnitude,
+            "paper_section": self.paper_section,
+            "message": self.message,
+            "evidence": self.evidence,
+        }
+
+
+@dataclass
+class LayerAttribution:
+    """Where one request-path layer's share of the wall time went.
+
+    ``wall_s`` is the layer's *exclusive* time (span durations minus
+    time covered by child spans), summed over every request in the
+    input; ``queue_wait_s``/``service_s`` split it into time spent
+    waiting in the layer's queue versus being serviced by it.
+    """
+
+    layer: str
+    wall_s: float
+    queue_wait_s: float
+    service_s: float
+    share: float             # of total attributed time, 0..1
+    spans: int
+
+    def to_dict(self) -> dict:
+        return {
+            "layer": self.layer,
+            "wall_s": self.wall_s,
+            "queue_wait_s": self.queue_wait_s,
+            "service_s": self.service_s,
+            "share": self.share,
+            "spans": self.spans,
+        }
+
+
+@dataclass
+class GateResult:
+    """Outcome of the perf-regression comparison against history."""
+
+    ok: bool
+    key: str
+    reason: str
+    current_mean: float = 0.0
+    baseline_mean: float = 0.0
+    rel_delta: float = 0.0   # positive = current is slower
+    threshold: float = 0.0
+    noise: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "key": self.key,
+            "reason": self.reason,
+            "current_mean": self.current_mean,
+            "baseline_mean": self.baseline_mean,
+            "rel_delta": self.rel_delta,
+            "threshold": self.threshold,
+            "noise": self.noise,
+        }
+
+
+@dataclass
+class DiagnosisReport:
+    """The engine's full answer for one set of inputs."""
+
+    attribution: List[LayerAttribution] = field(default_factory=list)
+    #: Layer with the largest exclusive time, excluding the benchmark
+    #: driver itself (``None`` when no spans were supplied).
+    dominant: Optional[str] = None
+    #: Dominant layer per configuration (snapshot ``_context`` series),
+    #: when the inputs carry enough context to tell runs apart.
+    dominant_by_config: Dict[str, str] = field(default_factory=dict)
+    end_to_end_s: float = 0.0
+    findings: List[Finding] = field(default_factory=list)
+    gate: Optional[GateResult] = None
+    runs: int = 0
+    spans: int = 0
+    snapshots: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "attribution": [layer.to_dict() for layer in self.attribution],
+            "dominant": self.dominant,
+            "dominant_by_config": self.dominant_by_config,
+            "end_to_end_s": self.end_to_end_s,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "gate": self.gate.to_dict() if self.gate else None,
+            "runs": self.runs,
+            "spans": self.spans,
+            "snapshots": self.snapshots,
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON: same inputs, byte-identical report."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    # ------------------------------------------------------------------
+    # Human rendering (the CLI's default output)
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        lines: List[str] = []
+        if self.attribution:
+            lines.append(f"critical path ({self.runs} runs, "
+                         f"{self.spans} spans, end-to-end "
+                         f"{self.end_to_end_s:.4f}s):")
+            lines.append(f"  {'layer':20s} {'wall s':>10s} {'queue s':>10s}"
+                         f" {'service s':>10s} {'share':>6s} {'spans':>7s}")
+            for layer in self.attribution:
+                lines.append(
+                    f"  {layer.layer:20s} {layer.wall_s:10.4f} "
+                    f"{layer.queue_wait_s:10.4f} {layer.service_s:10.4f} "
+                    f"{layer.share:5.1%} {layer.spans:7d}")
+            if self.dominant:
+                lines.append(f"  dominant bottleneck: {self.dominant}")
+            for config in sorted(self.dominant_by_config):
+                lines.append(f"    {config}: "
+                             f"{self.dominant_by_config[config]}")
+        if self.findings:
+            lines.append(f"traps detected ({len(self.findings)}):")
+            for finding in self.findings:
+                lines.append(f"  [{finding.severity}] {finding.trap} "
+                             f"({finding.paper_section}, "
+                             f"magnitude {finding.magnitude:.3g})")
+                lines.append(f"    {finding.message}")
+                for name in sorted(finding.evidence):
+                    lines.append(f"    evidence {name} = "
+                                 f"{finding.evidence[name]}")
+        else:
+            lines.append("traps detected: none")
+        if self.gate is not None:
+            verdict = "PASS" if self.gate.ok else "FAIL"
+            lines.append(f"regression gate [{verdict}] {self.gate.key}: "
+                         f"{self.gate.reason}")
+        return "\n".join(lines)

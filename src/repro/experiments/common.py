@@ -5,12 +5,36 @@ from __future__ import annotations
 import functools
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from contextlib import contextmanager
+
 from ..bench.fileset import READER_COUNTS
 from ..bench.runner import (RunResult, collect_throughputs,
                             run_local_once, run_nfs_once,
                             run_stride_once)
 from ..host.testbed import TestbedConfig
+from ..obs.session import active_session
 from ..stats import RunningSummary, SeriesSet
+
+
+@contextmanager
+def _sweep_context(label: str, **extra):
+    """Stamp the active obs session (if any) with the sweep point.
+
+    Metric snapshots recorded inside the block carry a ``_context``
+    entry naming the series and sweep position, so the trap-diagnosis
+    detectors can group repeats of one configuration instead of
+    comparing apples (2 readers) to oranges (32 readers).
+    """
+    session = active_session()
+    if session is None:
+        yield
+        return
+    previous = session.run_context
+    session.run_context = {"series": label, **extra}
+    try:
+        yield
+    finally:
+        session.run_context = previous
 
 
 def sweep_readers(title: str,
@@ -33,8 +57,10 @@ def sweep_readers(title: str,
             point = functools.partial(run_once, nreaders=nreaders,
                                       scale=scale)
             acc = RunningSummary()
-            for throughput in collect_throughputs(
-                    point, config.with_seed(seed + nreaders), runs, jobs):
+            with _sweep_context(label, readers=nreaders):
+                throughputs = collect_throughputs(
+                    point, config.with_seed(seed + nreaders), runs, jobs)
+            for throughput in throughputs:
                 acc.add(throughput)
             series.add(nreaders, acc.freeze())
     return figure
@@ -53,9 +79,11 @@ def sweep_strides(title: str,
             point = functools.partial(run_stride_once,
                                       strides=stride_count, scale=scale)
             acc = RunningSummary()
-            for throughput in collect_throughputs(
+            with _sweep_context(label, strides=stride_count):
+                throughputs = collect_throughputs(
                     point, config.with_seed(seed + stride_count),
-                    runs, jobs):
+                    runs, jobs)
+            for throughput in throughputs:
                 acc.add(throughput)
             series.add(stride_count, acc.freeze())
     return figure
@@ -75,11 +103,13 @@ def completion_distribution(title: str,
                        ylabel="Time to completion (s)")
     for label, config in configs:
         accumulators = [RunningSummary() for _ in range(nreaders)]
-        for run_index in range(runs):
-            run_config = config.with_seed(seed + 1000 * run_index)
-            result = run_local_once(run_config, nreaders, scale=scale)
-            for position, finish in enumerate(result.completion_times()):
-                accumulators[position].add(finish)
+        with _sweep_context(label, readers=nreaders):
+            for run_index in range(runs):
+                run_config = config.with_seed(seed + 1000 * run_index)
+                result = run_local_once(run_config, nreaders, scale=scale)
+                for position, finish in \
+                        enumerate(result.completion_times()):
+                    accumulators[position].add(finish)
         series = figure.new_series(label)
         for position, acc in enumerate(accumulators):
             series.add(position + 1, acc.freeze())

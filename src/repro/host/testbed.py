@@ -194,6 +194,15 @@ class LocalTestbed:
         registry.gauge("disk.reorder_fraction",
                        lambda: drive.stats.reorder_fraction)
         registry.gauge("disk.busy_s", lambda: drive.stats.busy_time)
+        # Static configuration facts the trap-diagnosis detectors read:
+        # whether the drive reorders at all, and which partition the
+        # benchmark file system sits on (the ZCAV zone question).
+        registry.gauge("disk.tcq_enabled",
+                       lambda: 1.0 if drive.tagged_queueing else 0.0)
+        registry.gauge("disk.tcq_depth",
+                       lambda: float(drive.queue_limit))
+        registry.gauge("disk.partition_index",
+                       lambda: float(self.config.partition))
         registry.gauge("host.server.cpu_s",
                        lambda: self.machine.cpu_time_consumed)
         # Per-zone throughput: the ZCAV breakdown of §5.1, computed from
@@ -312,6 +321,19 @@ class NfsTestbed(LocalTestbed):
                        lambda: float(server.nfsds.queued))
         registry.gauge("nfs.server.mean_seqcount",
                        lambda: server.stats.mean_seqcount)
+        # nfsheur table health (§6.3): the eviction-thrash detector
+        # reads these to spot hit-rate collapse against table size.
+        heur = server.nfsheur
+        registry.gauge("nfs.server.nfsheur_lookups",
+                       lambda: float(heur.stats.lookups))
+        registry.gauge("nfs.server.nfsheur_hit_rate",
+                       lambda: heur.stats.hit_rate)
+        registry.gauge("nfs.server.nfsheur_ejections",
+                       lambda: float(heur.stats.ejections))
+        registry.gauge("nfs.server.nfsheur_table_size",
+                       lambda: float(heur.params.table_size))
+        registry.gauge("nfs.server.nfsheur_occupancy",
+                       lambda: float(heur.occupancy))
         registry.gauge(
             "nfs.client.nfsiod_busy",
             lambda: float(sum(m.nfsiods.in_use for m in mounts)))

@@ -18,7 +18,8 @@ invariant cannot change any simulated outcome.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import List, Optional
+import json
+from typing import Dict, List, Optional
 
 from .core import Observability
 from .metrics import merge_snapshots, render_snapshot
@@ -39,6 +40,12 @@ class ObsSession:
         #: well-formedness is a per-run property.
         self.runs: List[List[Span]] = []
         self.snapshots: List[dict] = []
+        #: Free-form experiment context (series label, sweep x, ...)
+        #: stamped into every snapshot recorded while it is set, under
+        #: the ``_context`` key.  The trap-diagnosis detectors use it to
+        #: group repeats of the same configuration; the metrics
+        #: renderer and merger ignore it.
+        self.run_context: Optional[Dict[str, object]] = None
         self._id_base = 0
 
     @property
@@ -65,10 +72,26 @@ class ObsSession:
             self._id_base += obs.tracer.started
             self.runs.append(obs.tracer.spans)
         if obs.registry.enabled:
-            self.snapshots.append(obs.registry.snapshot())
+            snapshot = obs.registry.snapshot()
+            if self.run_context:
+                snapshot["_context"] = dict(self.run_context)
+            self.snapshots.append(snapshot)
 
     def trace_json(self) -> str:
         return dumps_trace(self.spans)
+
+    def metrics_json(self) -> str:
+        """Per-run snapshots plus the merged view, as deterministic JSON.
+
+        This is the machine-readable companion of
+        :meth:`metrics_report`, consumed by ``repro diagnose``:
+        detectors need the *per-run* snapshots (cache-warmth
+        contamination is only visible run-to-run), the attribution
+        report needs the merged histograms.
+        """
+        return json.dumps({"snapshots": self.snapshots,
+                           "merged": self.merged_metrics()},
+                          sort_keys=True, separators=(",", ":"))
 
     def merged_metrics(self) -> dict:
         return merge_snapshots(self.snapshots)

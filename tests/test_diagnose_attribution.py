@@ -1,0 +1,152 @@
+"""Critical-path attribution: exclusive times, splits, dominance.
+
+Synthetic span trees with hand-computable answers: the exclusive-time
+pass must charge every layer exactly its uncovered wall time (children
+clipped to the parent, overlaps unioned), the queue/service split must
+follow the layer's nature (pure-queue layers vs histogram-refined
+pools), and the dominant-bottleneck election must ignore the benchmark
+driver and break ties toward the deeper layer.
+"""
+
+import pytest
+
+from repro.diagnose import attribute_runs, dominant_by_config
+from repro.diagnose.attribution import dominant_layer, exclusive_times
+from repro.obs.span import Span
+
+
+def make_span(span_id, cat, start, end, parent=None, detached=False,
+              run=0):
+    span = Span(None, span_id, cat, cat, parent, start, detached,
+                {"run": run})
+    span.end = end
+    return span
+
+
+class TestExclusiveTimes:
+    def test_leaf_keeps_its_whole_duration(self):
+        spans = [make_span(1, "bench", 0.0, 4.0)]
+        assert exclusive_times(spans)[1] == pytest.approx(4.0)
+
+    def test_overlapping_children_are_unioned_not_summed(self):
+        spans = [make_span(1, "bench", 0.0, 10.0),
+                 make_span(2, "client.vnode", 2.0, 5.0, parent=1),
+                 make_span(3, "client.vnode", 4.0, 7.0, parent=1)]
+        exclusive = exclusive_times(spans)
+        # Children cover [2, 7) once, not 3 + 3 seconds.
+        assert exclusive[1] == pytest.approx(5.0)
+        assert exclusive[2] == pytest.approx(3.0)
+        assert exclusive[3] == pytest.approx(3.0)
+
+    def test_detached_child_is_clipped_to_the_parent(self):
+        spans = [make_span(1, "bench", 0.0, 10.0),
+                 make_span(2, "client.nfsiod", 8.0, 14.0, parent=1,
+                           detached=True)]
+        exclusive = exclusive_times(spans)
+        assert exclusive[1] == pytest.approx(8.0)   # covered [8, 10) only
+        assert exclusive[2] == pytest.approx(6.0)   # overhang is its own
+
+    def test_nested_chain_partitions_the_root(self):
+        spans = [make_span(1, "bench", 0.0, 10.0),
+                 make_span(2, "net.rpc", 1.0, 9.0, parent=1),
+                 make_span(3, "kernel.bufq", 2.0, 6.0, parent=2),
+                 make_span(4, "disk.mechanics", 6.0, 8.0, parent=2)]
+        exclusive = exclusive_times(spans)
+        assert sum(exclusive.values()) == pytest.approx(10.0)
+
+
+class TestAttributeRuns:
+    def run_table(self, merged=None):
+        spans = [make_span(1, "bench", 0.0, 10.0),
+                 make_span(2, "server.nfsd", 1.0, 7.0, parent=1),
+                 make_span(3, "kernel.bufq", 2.0, 6.0, parent=2)]
+        return attribute_runs([spans], merged)
+
+    def test_wall_times_partition_end_to_end(self):
+        table, end_to_end, _dominant = self.run_table()
+        assert end_to_end == pytest.approx(10.0)
+        assert sum(layer.wall_s for layer in table) == \
+            pytest.approx(end_to_end)
+        assert sum(layer.share for layer in table) == pytest.approx(1.0)
+
+    def test_layers_come_out_in_stack_order(self):
+        table, _end_to_end, _dominant = self.run_table()
+        assert [layer.layer for layer in table] == \
+            ["bench", "server.nfsd", "kernel.bufq"]
+
+    def test_queue_layer_is_all_queue_wait(self):
+        table, _end_to_end, _dominant = self.run_table()
+        bufq = next(layer for layer in table
+                    if layer.layer == "kernel.bufq")
+        assert bufq.queue_wait_s == pytest.approx(bufq.wall_s)
+        assert bufq.service_s == pytest.approx(0.0)
+
+    def test_pool_wait_is_refined_from_the_histogram(self):
+        merged = {"histograms": {"nfs.server.nfsd_wait_s":
+                                 {"count": 4, "sum": 0.5, "mean": 0.125}}}
+        table, _end_to_end, _dominant = self.run_table(merged)
+        nfsd = next(layer for layer in table
+                    if layer.layer == "server.nfsd")
+        assert nfsd.wall_s == pytest.approx(2.0)    # 6 - 4 covered
+        assert nfsd.queue_wait_s == pytest.approx(0.5)
+        assert nfsd.service_s == pytest.approx(1.5)
+
+    def test_pool_wait_is_capped_at_the_layer_wall(self):
+        merged = {"histograms": {"nfs.server.nfsd_wait_s":
+                                 {"count": 4, "sum": 99.0, "mean": 24.75}}}
+        table, _end_to_end, _dominant = self.run_table(merged)
+        nfsd = next(layer for layer in table
+                    if layer.layer == "server.nfsd")
+        assert nfsd.queue_wait_s == pytest.approx(nfsd.wall_s)
+
+    def test_without_metrics_pool_wait_defaults_to_service(self):
+        table, _end_to_end, _dominant = self.run_table()
+        nfsd = next(layer for layer in table
+                    if layer.layer == "server.nfsd")
+        assert nfsd.queue_wait_s == 0.0
+        assert nfsd.service_s == pytest.approx(nfsd.wall_s)
+
+    def test_empty_runs_attribute_nothing(self):
+        table, end_to_end, dominant = attribute_runs([])
+        assert table == [] and end_to_end == 0.0 and dominant is None
+
+
+class TestDominantLayer:
+    def test_driver_layer_never_wins(self):
+        spans = [make_span(1, "bench", 0.0, 10.0),
+                 make_span(2, "disk.mechanics", 4.0, 6.0, parent=1)]
+        _table, _end_to_end, dominant = attribute_runs([spans])
+        # bench holds 8s exclusive, but the driver cannot be dominant.
+        assert dominant == "disk.mechanics"
+
+    def test_tie_breaks_toward_the_deeper_layer(self):
+        spans = [make_span(1, "bench", 0.0, 8.0),
+                 make_span(2, "net.rpc", 0.0, 4.0, parent=1),
+                 make_span(3, "disk.mechanics", 4.0, 8.0, parent=1)]
+        table, _end_to_end, dominant = attribute_runs([spans])
+        assert dominant == "disk.mechanics"
+        assert dominant == dominant_layer(table)
+
+
+class TestDominantByConfig:
+    def runs(self):
+        slow_disk = [make_span(1, "bench", 0.0, 10.0),
+                     make_span(2, "disk.mechanics", 1.0, 9.0, parent=1)]
+        slow_net = [make_span(1, "bench", 0.0, 10.0, run=1),
+                    make_span(2, "net.rpc", 1.0, 9.0, parent=1, run=1)]
+        return [slow_disk, slow_net]
+
+    def snapshots(self):
+        return [{"gauges": {}, "_context": {"series": "ide1"}},
+                {"gauges": {}, "_context": {"series": "tcp"}}]
+
+    def test_per_series_dominants(self):
+        assert dominant_by_config(self.runs(), self.snapshots()) == \
+            {"ide1": "disk.mechanics", "tcp": "net.rpc"}
+
+    def test_requires_run_snapshot_alignment(self):
+        assert dominant_by_config(self.runs(), self.snapshots()[:1]) == {}
+
+    def test_requires_series_context(self):
+        snapshots = [{"gauges": {}}, {"gauges": {}}]
+        assert dominant_by_config(self.runs(), snapshots) == {}

@@ -1,0 +1,89 @@
+"""Trace-export identity: export -> import -> export is byte-stable.
+
+The diagnosis engine consumes traces *from disk*, so the export must be
+deterministic (sorted keys, compact separators — the same bytes for the
+same spans, every time) and the import must be lossless (the raw
+``t0``/``t1`` seconds ride in ``args``, so float microseconds never
+corrupt a timestamp).  These tests pin both properties, including the
+degenerate empty-stream case a failed run can produce.
+"""
+
+import json
+
+from repro.obs.export import dumps_trace, loads_trace
+from repro.obs.span import Span
+
+
+def make_span(span_id, cat, start, end, parent=None, detached=False,
+              **args):
+    span = Span(None, span_id, f"{cat}#{span_id}", cat, parent, start,
+                detached, args)
+    span.end = end
+    return span
+
+
+def synthetic_stream():
+    """A small stream with the awkward cases: float timestamps that do
+    not survive a trip through microseconds, a detached child, nested
+    args, and two runs."""
+    return [
+        make_span(1, "bench", 0.0, 0.1 + 0.2, run=0),
+        make_span(2, "client.vnode", 0.05, 0.2, parent=1, run=0,
+                  offset=65536, nbytes=8192),
+        make_span(3, "client.nfsiod", 0.06, 0.4, parent=2,
+                  detached=True, run=0),
+        make_span(4, "bench", 1e-9, 1.0 / 3.0, run=1),
+        make_span(5, "disk.mechanics", 0.01, 0.02, parent=4, run=1,
+                  zone=7),
+    ]
+
+
+class TestRoundTrip:
+    def test_export_import_export_is_byte_identical(self):
+        first = dumps_trace(synthetic_stream())
+        second = dumps_trace(loads_trace(first))
+        assert second == first
+
+    def test_import_reconstructs_every_span_key(self):
+        spans = synthetic_stream()
+        loaded = loads_trace(dumps_trace(spans))
+        assert [span.key() for span in loaded] == \
+            [span.key() for span in spans]
+
+    def test_exact_seconds_survive_despite_microsecond_display(self):
+        spans = synthetic_stream()
+        loaded = loads_trace(dumps_trace(spans))
+        for original, copy in zip(spans, loaded):
+            assert copy.start == original.start   # == , not approx
+            assert copy.end == original.end
+
+    def test_repeated_export_is_deterministic(self):
+        spans = synthetic_stream()
+        assert dumps_trace(spans) == dumps_trace(spans)
+
+
+class TestEmptyStream:
+    def test_empty_stream_round_trips_byte_identically(self):
+        first = dumps_trace([])
+        assert loads_trace(first) == []
+        assert dumps_trace(loads_trace(first)) == first
+
+    def test_empty_stream_is_valid_trace_event_json(self):
+        payload = json.loads(dumps_trace([]))
+        assert payload["traceEvents"] == []
+        assert payload["otherData"]["categories"] == []
+
+
+class TestStableSerialisation:
+    def test_keys_are_sorted_and_separators_compact(self):
+        text = dumps_trace(synthetic_stream())
+        payload = json.loads(text)
+        assert json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")) == text
+
+    def test_non_complete_events_are_ignored_on_import(self):
+        payload = json.loads(dumps_trace(synthetic_stream()))
+        payload["traceEvents"].append(
+            {"ph": "M", "name": "process_name", "pid": 1, "args": {}})
+        loaded = loads_trace(json.dumps(payload))
+        assert len(loaded) == len(synthetic_stream())
