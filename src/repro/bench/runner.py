@@ -68,7 +68,10 @@ class FaultRunResult(RunResult):
     tcp_segment_retransmits: int = 0
     rpc_timeouts: int = 0
     dupreq_hits: int = 0
+    dupreq_evictions: int = 0
     duplicate_executions: int = 0
+    verifier_resends: int = 0
+    commit_retries: int = 0
     reader_errors: int = 0
     read_attempts: int = 0
     server_crashes: int = 0
@@ -236,8 +239,14 @@ def run_faulted_once(config: TestbedConfig, nreaders: int,
             for ep in testbed.transport_endpoints),
         rpc_timeouts=sum(c.timeouts for c in testbed.rpc_clients),
         dupreq_hits=sum(s.dupreq_hits for s in testbed.rpc_servers),
+        dupreq_evictions=sum(s.dupreq_evictions
+                             for s in testbed.rpc_servers),
         duplicate_executions=sum(s.duplicate_executions
                                  for s in testbed.rpc_servers),
+        verifier_resends=sum(m.stats.verifier_resends
+                             for m in testbed.mounts),
+        commit_retries=sum(m.stats.commit_retries
+                           for m in testbed.mounts),
         reader_errors=sum(r.errors for r in base.readers),
         read_attempts=sum(r.read_attempts for r in base.readers),
         server_crashes=server_stats.crashes,

@@ -1,0 +1,32 @@
+"""Chaos engine: seeded fault schedules, correctness oracles, shrinking
+repro bundles.
+
+The paper's benchmarking traps are about *performance* under
+misconfiguration; this package asks the complementary robustness
+question the paper's §5.4 soft-mount warning gestures at — does the
+simulated NFS stack stay *correct* under crashes, stalls, partitions,
+and loss bursts?  See DESIGN.md §10 for the architecture.
+"""
+
+from .bundle import (ReplayOutcome, bundle_dict, config_from_bundle,
+                     read_bundle, replay_bundle, write_bundle)
+from .engine import (CampaignRun, ChaosResult, LIVENESS_GRACE,
+                     run_campaign, run_chaos)
+from .oracles import (ORACLE_NAMES, OracleInputs, OracleResult,
+                      evaluate_oracles, failed_oracle_names)
+from .schedule import (ChaosSchedule, FAULT_KINDS, FaultEvent,
+                       ScheduleFuzzer)
+from .shrink import ShrinkResult, shrink
+from .workload import (ChaosJournal, ChaosWorkload, chaos_verifier,
+                       chaos_worker)
+
+__all__ = [
+    "CampaignRun", "ChaosJournal", "ChaosResult", "ChaosSchedule",
+    "ChaosWorkload", "FAULT_KINDS", "FaultEvent", "LIVENESS_GRACE",
+    "ORACLE_NAMES", "OracleInputs", "OracleResult", "ReplayOutcome",
+    "ScheduleFuzzer", "ShrinkResult", "bundle_dict",
+    "chaos_verifier", "chaos_worker", "config_from_bundle",
+    "evaluate_oracles", "failed_oracle_names", "read_bundle",
+    "replay_bundle", "run_campaign", "run_chaos", "shrink",
+    "write_bundle",
+]

@@ -1,0 +1,115 @@
+"""Repro bundles: a failing chaos run as one self-contained JSON file.
+
+A bundle records exactly the inputs :func:`~.engine.run_chaos` is a
+pure function of — the testbed knobs that matter, the workload shape,
+and the (usually shrunk) schedule — plus the observed failure: which
+oracles failed, and the run's canonical fingerprint.  ``chaos replay``
+re-executes the bundle and reports whether the same fingerprint (hence
+the byte-identical run) came back.
+
+Version 1.  Unknown versions are rejected loudly rather than
+misinterpreted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Union
+
+from ..host.testbed import TestbedConfig
+from .engine import ChaosResult, run_chaos
+from .schedule import ChaosSchedule
+from .workload import ChaosWorkload
+
+BUNDLE_VERSION = 1
+BUNDLE_KIND = "chaos-bundle"
+
+#: The TestbedConfig fields a chaos run's outcome depends on.  Fields
+#: not listed here keep their defaults on replay — if a new knob starts
+#: influencing chaos runs, it must be added (and the version bumped).
+_CONFIG_FIELDS = ("drive", "partition", "transport", "server_heuristic",
+                  "num_clients", "mount_verifier_recovery",
+                  "dupreq_cache_size", "seed")
+
+
+def bundle_dict(config: TestbedConfig, workload: ChaosWorkload,
+                schedule: ChaosSchedule,
+                result: ChaosResult) -> dict:
+    """The bundle as a JSON-ready dict."""
+    config_part = {name: getattr(config, name)
+                   for name in _CONFIG_FIELDS}
+    config_part["nfsheur"] = (config.nfsheur
+                              if isinstance(config.nfsheur, str)
+                              else "custom")
+    return {
+        "version": BUNDLE_VERSION,
+        "kind": BUNDLE_KIND,
+        "config": config_part,
+        "workload": workload.to_jsonable(),
+        "schedule": schedule.to_jsonable(),
+        "failed_oracles": list(result.failed_oracles),
+        "fingerprint": result.fingerprint,
+    }
+
+
+def write_bundle(path: str, config: TestbedConfig,
+                 workload: ChaosWorkload, schedule: ChaosSchedule,
+                 result: ChaosResult) -> dict:
+    data = bundle_dict(config, workload, schedule, result)
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return data
+
+
+def read_bundle(path: str) -> dict:
+    with open(path) as handle:
+        data = json.load(handle)
+    if data.get("kind") != BUNDLE_KIND:
+        raise ValueError(f"{path}: not a chaos bundle")
+    if data.get("version") != BUNDLE_VERSION:
+        raise ValueError(f"{path}: unsupported bundle version "
+                         f"{data.get('version')!r}")
+    return data
+
+
+def config_from_bundle(data: dict) -> TestbedConfig:
+    config_part = dict(data["config"])
+    return TestbedConfig(**config_part)
+
+
+@dataclass
+class ReplayOutcome:
+    """A bundle re-execution, compared against the recorded failure."""
+
+    result: ChaosResult
+    expected_fingerprint: str
+    expected_failed_oracles: tuple
+
+    @property
+    def reproduced(self) -> bool:
+        """Same failure, bit for bit."""
+        return (self.result.fingerprint == self.expected_fingerprint
+                and tuple(self.result.failed_oracles)
+                == self.expected_failed_oracles)
+
+    def to_jsonable(self) -> dict:
+        return {"reproduced": self.reproduced,
+                "expected_fingerprint": self.expected_fingerprint,
+                "expected_failed_oracles":
+                    list(self.expected_failed_oracles),
+                "result": self.result.to_jsonable()}
+
+
+def replay_bundle(source: Union[str, dict]) -> ReplayOutcome:
+    """Re-execute a bundle (path or parsed dict) deterministically."""
+    data = read_bundle(source) if isinstance(source, str) else source
+    config = config_from_bundle(data)
+    workload = ChaosWorkload.from_jsonable(data["workload"])
+    schedule = ChaosSchedule.from_jsonable(data["schedule"])
+    result = run_chaos(config, schedule, workload)
+    return ReplayOutcome(
+        result=result,
+        expected_fingerprint=data["fingerprint"],
+        expected_failed_oracles=tuple(data["failed_oracles"]))

@@ -1,0 +1,183 @@
+"""The chaos engine: run one schedule, judge it with the oracles.
+
+:func:`run_chaos` is the deterministic core — a pure function from
+``(config, schedule, workload)`` to a :class:`ChaosResult`, including a
+SHA-256 fingerprint over the run's canonical JSON.  Two invocations
+with equal inputs produce byte-identical fingerprints, which is what
+lets a repro bundle assert "this exact failure" rather than "a
+failure".
+
+:func:`run_campaign` fans a :class:`~.schedule.ScheduleFuzzer` across a
+budget of schedules, giving each run its own derived config seed so the
+non-fault randomness (CPU jitter, drive cache) varies across runs while
+schedule ``i`` stays pinned to ``(campaign seed, i)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..host.testbed import TestbedConfig, build_nfs_testbed
+from ..sim.rand import derive_seed
+from .oracles import (OracleInputs, OracleResult, evaluate_oracles,
+                      failed_oracle_names)
+from .schedule import ChaosSchedule, ScheduleFuzzer
+from .workload import (ChaosJournal, ChaosWorkload, chaos_verifier,
+                       chaos_worker)
+
+#: Grace past the schedule horizon before liveness is declared broken:
+#: enough for several exponential-backoff retransmission cycles at the
+#: 60 s cap after the last fault window closes.
+LIVENESS_GRACE = 240.0
+
+
+@dataclass
+class ChaosResult:
+    """Everything one chaos run produced."""
+
+    schedule: ChaosSchedule
+    workload: ChaosWorkload
+    oracles: Tuple[OracleResult, ...]
+    counters: Dict[str, int]
+    fingerprint: str
+
+    @property
+    def failed_oracles(self) -> Tuple[str, ...]:
+        return failed_oracle_names(self.oracles)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed_oracles
+
+    def to_jsonable(self) -> dict:
+        return {"schedule": self.schedule.to_jsonable(),
+                "workload": self.workload.to_jsonable(),
+                "oracles": [o.to_jsonable() for o in self.oracles],
+                "counters": dict(sorted(self.counters.items())),
+                "failed_oracles": list(self.failed_oracles),
+                "ok": self.ok,
+                "fingerprint": self.fingerprint}
+
+
+def _canonical_fingerprint(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def run_chaos(config: TestbedConfig, schedule: ChaosSchedule,
+              workload: Optional[ChaosWorkload] = None) -> ChaosResult:
+    """Execute one schedule against one testbed config."""
+    workload = workload or ChaosWorkload()
+    spec = schedule.to_fault_spec()
+    run_config = replace(config,
+                         faults=spec if spec.any_faults else None)
+    testbed = build_nfs_testbed(run_config)
+    bs = run_config.rsize
+    file_names = [f"chaos{index}" for index in range(workload.files)]
+    for name in file_names:
+        testbed.server.export_file(name, workload.file_blocks * bs)
+
+    journal = ChaosJournal()
+    workers = []
+    for index, mount in enumerate(testbed.mounts):
+        rng = random.Random(
+            derive_seed(run_config.seed, f"chaos-client{index}"))
+        process = testbed.sim.spawn(
+            chaos_worker(testbed.sim, mount, index, len(testbed.mounts),
+                         file_names, workload, rng, journal),
+            name=f"chaos-worker{index}")
+        workers.append(process)
+    final_reads: Dict[Tuple[str, int], int] = {}
+    verifier = testbed.sim.spawn(
+        chaos_verifier(testbed.sim, testbed.mounts[0], workers, journal,
+                       final_reads),
+        name="chaos-verifier")
+
+    testbed.sim.run(until=schedule.horizon + LIVENESS_GRACE)
+    for process in workers + [verifier]:
+        if process.error is not None:
+            raise process.error
+
+    inputs = OracleInputs(
+        processes=[(p.name, p.finished) for p in workers]
+        + [(verifier.name, verifier.finished)],
+        journal_durable=dict(journal.durable),
+        final_reads=dict(final_reads),
+        ryw_violations=list(journal.ryw_violations),
+        duplicate_executions=sum(s.duplicate_executions
+                                 for s in testbed.rpc_servers))
+    oracles = evaluate_oracles(inputs)
+
+    mounts = testbed.mounts
+    counters = {
+        "writes": sum(m.stats.writes for m in mounts),
+        "stable_writes": sum(m.stats.stable_writes for m in mounts),
+        "commits": sum(m.stats.commits for m in mounts),
+        "rpc_writes": sum(m.stats.rpc_writes for m in mounts),
+        "verifier_resends": sum(m.stats.verifier_resends
+                                for m in mounts),
+        "commit_retries": sum(m.stats.commit_retries for m in mounts),
+        "reboots_observed": sum(m.stats.server_reboots_observed
+                                for m in mounts),
+        "server_boot_epoch": testbed.server.boot_epoch,
+        "rpc_retransmits": sum(c.retransmitted
+                               for c in testbed.rpc_clients),
+        "rpc_timeouts": sum(c.timeouts for c in testbed.rpc_clients),
+        "dupreq_hits": sum(s.dupreq_hits for s in testbed.rpc_servers),
+        "dupreq_evictions": sum(s.dupreq_evictions
+                                for s in testbed.rpc_servers),
+        "duplicate_executions": inputs.duplicate_executions,
+    }
+
+    payload = {
+        "schedule": schedule.to_jsonable(),
+        "workload": workload.to_jsonable(),
+        "oracles": [o.to_jsonable() for o in oracles],
+        "counters": dict(sorted(counters.items())),
+        "journal": {f"{name}:{block}": token
+                    for (name, block), token
+                    in sorted(journal.durable.items())},
+        "final_reads": {f"{name}:{block}": token
+                        for (name, block), token
+                        in sorted(final_reads.items())},
+    }
+    return ChaosResult(schedule=schedule, workload=workload,
+                       oracles=oracles, counters=counters,
+                       fingerprint=_canonical_fingerprint(payload))
+
+
+@dataclass
+class CampaignRun:
+    """One schedule's outcome within a campaign."""
+
+    index: int
+    schedule: ChaosSchedule
+    result: ChaosResult
+
+
+def run_campaign(config: TestbedConfig, fuzzer: ScheduleFuzzer,
+                 budget: int,
+                 workload: Optional[ChaosWorkload] = None,
+                 on_result=None) -> List[CampaignRun]:
+    """Run ``budget`` fuzzed schedules; returns every run's outcome.
+
+    Run ``i`` uses config seed ``seed + 1000*i`` (spacing keeps the
+    derived streams of different runs far apart) while the schedule
+    itself depends only on the fuzzer's own seed and ``i``.
+    """
+    workload = workload or ChaosWorkload()
+    runs: List[CampaignRun] = []
+    for index in range(budget):
+        schedule = fuzzer.schedule(index)
+        run_config = config.with_seed(config.seed + 1000 * index)
+        result = run_chaos(run_config, schedule, workload)
+        run = CampaignRun(index=index, schedule=schedule, result=result)
+        runs.append(run)
+        if on_result is not None:
+            on_result(run)
+    return runs

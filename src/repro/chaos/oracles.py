@@ -1,0 +1,108 @@
+"""Correctness oracles for chaos runs.
+
+An oracle is a *decidable end-to-end property* of one run — not a
+statistic.  Four of them, in fixed order:
+
+1. ``liveness`` — every client process and the final verifier ran to
+   completion within the generous bound (the schedule horizon plus the
+   worst-case retransmission backoff tail).  Hard mounts must always
+   get there once the faults clear.
+2. ``no_lost_acked_data`` — every block whose durability the protocol
+   promised (FILE_SYNC ack, or COMMIT covering it under an unchanged
+   write verifier) reads back with exactly the promised token at end of
+   run.  This is *the* NFSv3 crash-recovery contract.
+3. ``read_your_writes`` — a client re-reading its own just-committed
+   blocks sees its own tokens.
+4. ``dupreq_idempotency`` — no retransmitted non-idempotent request was
+   re-executed within a server boot (the duplicate-request cache did
+   its job; across boots the cache is legitimately empty, which is the
+   per-boot-epoch scope of the invariant).
+
+When liveness fails, ``no_lost_acked_data`` cannot be decided (the
+final readback never ran); it is reported with ``evaluated=False`` and
+excluded from ``failed_oracles`` so a liveness bug is not double
+counted as data loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+#: Canonical oracle order — results, reports, and bundles all use it.
+ORACLE_NAMES: Tuple[str, ...] = (
+    "liveness", "no_lost_acked_data", "read_your_writes",
+    "dupreq_idempotency")
+
+
+@dataclass
+class OracleResult:
+    """One oracle's verdict on one run."""
+
+    name: str
+    passed: bool
+    evaluated: bool = True
+    violations: Tuple[str, ...] = ()
+
+    def to_jsonable(self) -> dict:
+        return {"name": self.name, "passed": self.passed,
+                "evaluated": self.evaluated,
+                "violations": list(self.violations)}
+
+
+@dataclass
+class OracleInputs:
+    """Everything the oracles need, gathered by the engine."""
+
+    #: (process name, finished?) for every worker plus the verifier.
+    processes: List[Tuple[str, bool]] = field(default_factory=list)
+    #: The journal's durability claims: (file, block) -> token.
+    journal_durable: dict = field(default_factory=dict)
+    #: End-of-run readback: (file, block) -> token.
+    final_reads: dict = field(default_factory=dict)
+    #: Read-your-writes violations collected during the run.
+    ryw_violations: List[str] = field(default_factory=list)
+    #: Sum of RpcServer.duplicate_executions across transports.
+    duplicate_executions: int = 0
+
+
+def evaluate_oracles(inputs: OracleInputs) -> Tuple[OracleResult, ...]:
+    """All four oracles, in canonical order."""
+    unfinished = tuple(f"{name} did not finish"
+                       for name, finished in inputs.processes
+                       if not finished)
+    live = not unfinished
+    liveness = OracleResult("liveness", passed=live,
+                            violations=unfinished)
+
+    if live:
+        lost = []
+        for key in sorted(inputs.journal_durable):
+            expected = inputs.journal_durable[key]
+            got = inputs.final_reads.get(key)
+            if got != expected:
+                name, block = key
+                lost.append(f"{name}[{block}]: acked token {expected}, "
+                            f"read back {got}")
+        no_lost = OracleResult("no_lost_acked_data", passed=not lost,
+                               violations=tuple(lost))
+    else:
+        no_lost = OracleResult("no_lost_acked_data", passed=False,
+                               evaluated=False)
+
+    ryw = OracleResult("read_your_writes",
+                       passed=not inputs.ryw_violations,
+                       violations=tuple(inputs.ryw_violations))
+
+    dup = inputs.duplicate_executions
+    dupreq = OracleResult(
+        "dupreq_idempotency", passed=dup == 0,
+        violations=((f"{dup} non-idempotent re-executions",)
+                    if dup else ()))
+    return (liveness, no_lost, ryw, dupreq)
+
+
+def failed_oracle_names(oracles) -> Tuple[str, ...]:
+    """Evaluated-and-failed oracle names, in canonical order."""
+    return tuple(o.name for o in oracles
+                 if o.evaluated and not o.passed)

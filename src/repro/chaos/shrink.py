@@ -1,0 +1,103 @@
+"""Schedule shrinking: from a fuzzed failure to a minimal repro.
+
+A fuzzed failing schedule typically carries bystander events — a stall
+and a loss burst that had nothing to do with the crash that actually
+lost the data.  The shrinker is a greedy delta debugger over the
+schedule's *structure*:
+
+1. **Removal pass** — try dropping each event; keep any drop after
+   which the run still fails the *same* oracle (not merely "fails"),
+   restarting the scan, until no single removal preserves the failure.
+2. **Narrowing pass** — try halving each surviving event's duration and
+   rate, keeping reductions that preserve the failure, until a fixed
+   point.
+
+Every candidate is judged by a full :func:`~.engine.run_chaos` — the
+oracles are the ground truth, so the shrinker can never "simplify" its
+way to a different bug.  The whole procedure is deterministic (greedy
+order, deterministic runs), so the same failure always shrinks to the
+same minimal schedule; ``max_runs`` caps the spend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..host.testbed import TestbedConfig
+from .engine import run_chaos
+from .schedule import ChaosSchedule, FaultEvent
+from .workload import ChaosWorkload
+
+#: Below these, narrowing stops — windows any shorter / rates any lower
+#: stop exercising the fault at all.
+MIN_DURATION = 0.25
+MIN_RATE = 0.01
+
+
+@dataclass
+class ShrinkResult:
+    """The minimal schedule found, and what it cost to find."""
+
+    schedule: ChaosSchedule
+    target_oracle: str
+    runs: int
+
+    @property
+    def events(self) -> int:
+        return len(self.schedule.events)
+
+
+def _narrowings(event: FaultEvent) -> Iterator[FaultEvent]:
+    if event.duration / 2 >= MIN_DURATION:
+        yield FaultEvent(kind=event.kind, start=event.start,
+                         duration=round(event.duration / 2, 3),
+                         rate=event.rate)
+    if event.rate and event.rate / 2 >= MIN_RATE:
+        yield FaultEvent(kind=event.kind, start=event.start,
+                         duration=event.duration,
+                         rate=round(event.rate / 2, 4))
+
+
+def shrink(config: TestbedConfig, schedule: ChaosSchedule,
+           target_oracle: str,
+           workload: Optional[ChaosWorkload] = None,
+           max_runs: int = 64) -> ShrinkResult:
+    """Greedily minimise ``schedule`` while ``target_oracle`` fails."""
+    workload = workload or ChaosWorkload()
+    runs = 0
+
+    def still_fails(candidate: ChaosSchedule) -> bool:
+        nonlocal runs
+        if runs >= max_runs:
+            return False
+        runs += 1
+        result = run_chaos(config, candidate, workload)
+        return target_oracle in result.failed_oracles
+
+    current = schedule
+    # Removal pass.
+    progress = True
+    while progress and len(current.events) > 1:
+        progress = False
+        for index in range(len(current.events)):
+            candidate = current.without(index)
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+    # Narrowing pass.
+    progress = True
+    while progress:
+        progress = False
+        for index, event in enumerate(current.events):
+            for narrowed in _narrowings(event):
+                candidate = current.with_event(index, narrowed)
+                if still_fails(candidate):
+                    current = candidate
+                    progress = True
+                    break
+            if progress:
+                break
+    return ShrinkResult(schedule=current, target_oracle=target_oracle,
+                        runs=runs)

@@ -1,0 +1,199 @@
+"""The chaos workload: journalled writers with read-your-writes checks.
+
+Each client machine runs one :func:`chaos_worker`: a sequence of block
+writes (mostly UNSTABLE with periodic COMMITs, a few FILE_SYNC) against
+a small shared fileset, with think time between operations so the fault
+schedule's windows land between, during, and across RPCs.
+
+**Block ownership** makes the correctness question exact: client ``i``
+only ever writes blocks ``b`` with ``b % num_clients == i``, and each
+mount draws its content tokens from a disjoint range — so for every
+``(file, block)`` there is a single writer and a well-defined "latest
+acknowledged-durable token", which the shared :class:`ChaosJournal`
+records.  The oracles then reduce to dictionary comparisons:
+
+* *no lost acked data* — at end of run, reading every journalled block
+  through the NFS path yields exactly the journalled token;
+* *read your writes* — immediately after a COMMIT returns, the
+  committing client re-reads a sample of its own committed blocks and
+  must see its own tokens.
+
+Workers end with a COMMIT of every file, so the journal's end state and
+the server's end state coincide exactly when no acknowledged write was
+lost — the property the NFSv3 write-verifier recovery exists to ensure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..nfs import NfsMount
+from ..sim import Simulator
+
+
+@dataclass(frozen=True)
+class ChaosWorkload:
+    """Shape of the chaos write workload (frozen: part of the bundle)."""
+
+    files: int = 2
+    file_blocks: int = 16
+    writes_per_client: int = 24
+    commit_every: int = 6
+    stable_fraction: float = 0.15
+    readback_sample: int = 3
+    think_time: float = 0.4
+
+    def __post_init__(self):
+        if self.files < 1 or self.file_blocks < 1:
+            raise ValueError("need at least one file and one block")
+        if self.writes_per_client < 1 or self.commit_every < 1:
+            raise ValueError("writes_per_client and commit_every "
+                             "must be positive")
+        if not 0.0 <= self.stable_fraction <= 1.0:
+            raise ValueError("stable_fraction must be in [0, 1]")
+        if self.readback_sample < 0 or self.think_time < 0:
+            raise ValueError("readback_sample and think_time "
+                             "cannot be negative")
+
+    def to_jsonable(self) -> dict:
+        return {"files": self.files, "file_blocks": self.file_blocks,
+                "writes_per_client": self.writes_per_client,
+                "commit_every": self.commit_every,
+                "stable_fraction": self.stable_fraction,
+                "readback_sample": self.readback_sample,
+                "think_time": self.think_time}
+
+    @staticmethod
+    def from_jsonable(data: dict) -> "ChaosWorkload":
+        return ChaosWorkload(**data)
+
+
+class ChaosJournal:
+    """What the clients collectively claim is on stable storage.
+
+    ``durable`` maps ``(file_name, block)`` to the latest token whose
+    durability the owning client was *promised* — by a FILE_SYNC
+    acknowledgement or by a COMMIT covering it.  Block ownership is
+    exclusive, so entries never race between clients.
+    """
+
+    def __init__(self):
+        self.durable: Dict[Tuple[str, int], int] = {}
+        self.ryw_violations: List[str] = []
+
+    def record_durable(self, name: str, block: int, token: int) -> None:
+        self.durable[(name, block)] = token
+
+
+def chaos_worker(sim: Simulator, mount: NfsMount, client_index: int,
+                 num_clients: int, file_names: Sequence[str],
+                 workload: ChaosWorkload, rng: random.Random,
+                 journal: ChaosJournal):
+    """One client's write campaign (generator process)."""
+    handles = {}
+    for name in file_names:
+        handles[name] = yield from mount.open(name)
+    owned = [block for block in range(workload.file_blocks)
+             if block % num_clients == client_index]
+    if not owned:
+        return None
+    bs = mount.config.read_size
+    dirty: set = set()
+    for count in range(1, workload.writes_per_client + 1):
+        name = file_names[rng.randrange(len(file_names))]
+        block = owned[rng.randrange(len(owned))]
+        nfile = handles[name]
+        if rng.random() < workload.stable_fraction:
+            # FILE_SYNC: durable the moment the ack arrives.
+            written = yield from mount.write_stable(nfile, block * bs, bs)
+            for wblock, token in written.items():
+                journal.record_durable(name, wblock, token)
+        else:
+            yield from mount.write(nfile, block * bs, bs)
+            dirty.add(name)
+        if count % workload.commit_every == 0 and dirty:
+            yield from _commit_dirty(mount, handles, dirty, journal)
+            yield from _check_read_your_writes(
+                mount, handles, client_index, num_clients, workload,
+                rng, journal)
+        if workload.think_time > 0.0:
+            yield sim.timeout(rng.uniform(0.5, 1.5)
+                              * workload.think_time)
+    # Final COMMIT of every file: afterwards the journal's claim and
+    # the server's stable state must coincide block for block.
+    for name in file_names:
+        committed = yield from mount.commit(handles[name])
+        for block, token in committed.items():
+            journal.record_durable(name, block, token)
+    return None
+
+
+def _commit_dirty(mount: NfsMount, handles: dict, dirty: set,
+                  journal: ChaosJournal):
+    for name in sorted(dirty):
+        committed = yield from mount.commit(handles[name])
+        for block, token in committed.items():
+            journal.record_durable(name, block, token)
+    dirty.clear()
+    return None
+
+
+def _check_read_your_writes(mount: NfsMount, handles: dict,
+                            client_index: int, num_clients: int,
+                            workload: ChaosWorkload,
+                            rng: random.Random,
+                            journal: ChaosJournal):
+    """Re-read a sample of this client's committed blocks.
+
+    The worker is sequential and owns its blocks exclusively, so right
+    after a COMMIT returns there is exactly one acceptable value for
+    each of them: the journalled token.  Anything else is a
+    read-your-writes violation (typically stale data resurrected by a
+    crash that discarded an acknowledged write).
+    """
+    if workload.readback_sample < 1:
+        return None
+    mine = sorted(key for key in journal.durable
+                  if key[1] % num_clients == client_index)
+    if not mine:
+        return None
+    sample = rng.sample(mine, min(workload.readback_sample, len(mine)))
+    by_file: Dict[str, List[int]] = {}
+    for name, block in sample:
+        by_file.setdefault(name, []).append(block)
+    for name in sorted(by_file):
+        versions = yield from mount.read_versions(handles[name],
+                                                  by_file[name])
+        for block in by_file[name]:
+            expected = journal.durable[(name, block)]
+            got = versions[block]
+            if got != expected:
+                journal.ryw_violations.append(
+                    f"client{client_index} {name}[{block}]: "
+                    f"committed token {expected}, read {got}")
+    return None
+
+
+def chaos_verifier(sim: Simulator, mount: NfsMount, workers,
+                   journal: ChaosJournal,
+                   final_reads: Dict[Tuple[str, int], int]):
+    """End-of-run readback: the no-lost-acked-data oracle's eyes.
+
+    Waits for every worker, then reads every journalled block through
+    the full NFS path (a hard mount, so reads ride out any tail of the
+    fault schedule) into ``final_reads`` for the engine to compare.
+    """
+    for process in workers:
+        if not process.processed:
+            yield process
+    by_file: Dict[str, List[int]] = {}
+    for name, block in sorted(journal.durable):
+        by_file.setdefault(name, []).append(block)
+    for name in sorted(by_file):
+        nfile = yield from mount.open(name)
+        versions = yield from mount.read_versions(nfile, by_file[name])
+        for block, token in versions.items():
+            final_reads[(name, block)] = token
+    return None

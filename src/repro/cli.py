@@ -16,13 +16,18 @@ Examples::
     python -m repro fig2 --trace t.json --metrics-out m.json
     python -m repro diagnose --trace t.json --metrics m.json
 
-Three extra verbs ride next to the figure ids: ``bench`` (one
+Four extra verbs ride next to the figure ids: ``bench`` (one
 benchmark point, optionally parallel and machine-readable), ``replay``
 (capture a run's vnode-boundary trace and/or replay a trace file
-against an arbitrary testbed; see :mod:`repro.replay`), and
-``diagnose`` (critical-path attribution, benchmark-trap detection, and
-the perf-regression gate over previously recorded artifacts; see
-:mod:`repro.diagnose`).
+against an arbitrary testbed; see :mod:`repro.replay`), ``diagnose``
+(critical-path attribution, benchmark-trap detection, and the
+perf-regression gate over previously recorded artifacts; see
+:mod:`repro.diagnose`), and ``chaos`` (fault-schedule fuzzing judged
+by correctness oracles, with shrinking repro bundles; see
+:mod:`repro.chaos`)::
+
+    python -m repro chaos fuzz --budget 30 --seed 0 --json
+    python -m repro chaos replay bundles/chaos-17.json
 """
 
 from __future__ import annotations
@@ -70,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the per-run metric snapshots "
                              "as JSON to FILE (implies metrics "
                              "collection; feed it to 'diagnose')")
+    parser.add_argument("--detail-out", metavar="FILE", default=None,
+                        help="write the experiment's per-run records "
+                             "(raw counters behind the summarised "
+                             "points, e.g. xfaults' retransmit and "
+                             "recovery counts) as JSON to FILE")
     return parser
 
 
@@ -107,6 +117,16 @@ def _run_one(experiment_id: str, args) -> None:
             handle.write(session.trace_json())
         print(f"\ntrace: {len(session.spans)} spans -> {args.trace} "
               f"(load in https://ui.perfetto.dev)")
+    detail_out = getattr(args, "detail_out", None)
+    if detail_out is not None:
+        records = getattr(figure, "detail", [])
+        with open(detail_out, "w") as handle:
+            json.dump({"experiment": experiment.id,
+                       "records": records}, handle,
+                      indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\ndetail: {len(records)} per-run records -> "
+              f"{detail_out}")
     print(f"\n[{experiment.id}] scale={args.scale} runs={args.runs} "
           f"seed={args.seed} wall={elapsed:.1f}s")
     print(f"paper claim: {experiment.paper_claim}")
@@ -375,6 +395,147 @@ def _main_diagnose(argv: List[str]) -> int:
     return 0
 
 
+def _build_chaos_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nfstricks chaos",
+        description="Chaos-test the NFS stack: fuzz seeded fault "
+                    "schedules against the correctness oracles, shrink "
+                    "any failure to a minimal schedule, and replay "
+                    "repro bundles deterministically.  'fuzz' exits 1 "
+                    "if any oracle failed; 'replay' exits 1 if the "
+                    "bundle's failure did not reproduce bit-identically.")
+    sub = parser.add_subparsers(dest="mode", required=True)
+    fuzz = sub.add_parser(
+        "fuzz", help="run a fixed-seed campaign of fuzzed schedules")
+    fuzz.add_argument("--budget", type=int, default=30,
+                      help="schedules to run (default: 30)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign master seed (default: 0)")
+    fuzz.add_argument("--transport", choices=["udp", "tcp"],
+                      default="udp")
+    fuzz.add_argument("--heuristic", default="default",
+                      help="server read-ahead heuristic "
+                           "(default/slowdown/always/cursor)")
+    fuzz.add_argument("--nfsheur", choices=["default", "improved"],
+                      default="default")
+    fuzz.add_argument("--clients", type=int, default=2,
+                      help="client machines (default: 2)")
+    fuzz.add_argument("--horizon", type=float, default=20.0,
+                      help="schedule horizon in simulated seconds")
+    fuzz.add_argument("--max-events", type=int, default=4,
+                      help="max fault events per schedule (default: 4)")
+    fuzz.add_argument("--no-recovery", action="store_true",
+                      help="disable the client's write-verifier "
+                           "recovery (bug-reintroduction mode: the "
+                           "no-lost-acked-data oracle should fail)")
+    fuzz.add_argument("--shrink-runs", type=int, default=48,
+                      help="run budget per failure for the shrinker")
+    fuzz.add_argument("--bundle-dir", metavar="DIR", default=None,
+                      help="write a shrunk repro bundle per failure "
+                           "into DIR")
+    fuzz.add_argument("--json", action="store_true",
+                      help="print a machine-readable campaign record")
+    replay = sub.add_parser(
+        "replay", help="re-execute a repro bundle deterministically")
+    replay.add_argument("bundle", help="path to a chaos bundle JSON")
+    replay.add_argument("--json", action="store_true",
+                        help="print the full replay outcome as JSON")
+    return parser
+
+
+def _main_chaos(argv: List[str]) -> int:
+    import os
+    from .chaos import (ChaosWorkload, ScheduleFuzzer, replay_bundle,
+                        run_campaign, shrink, write_bundle)
+    from .host.testbed import TestbedConfig
+    args = _build_chaos_parser().parse_args(argv)
+
+    if args.mode == "replay":
+        try:
+            outcome = replay_bundle(args.bundle)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"chaos replay: {error}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(outcome.to_jsonable(), sort_keys=True))
+        else:
+            verdict = ("reproduced" if outcome.reproduced
+                       else "DID NOT REPRODUCE")
+            print(f"{args.bundle}: {verdict} "
+                  f"(failed oracles: "
+                  f"{', '.join(outcome.result.failed_oracles) or 'none'}"
+                  f"; fingerprint {outcome.result.fingerprint[:16]}...)")
+        return 0 if outcome.reproduced else 1
+
+    config = TestbedConfig(
+        transport=args.transport, server_heuristic=args.heuristic,
+        nfsheur=args.nfsheur, num_clients=args.clients,
+        mount_verifier_recovery=not args.no_recovery, seed=args.seed)
+    fuzzer = ScheduleFuzzer(args.seed, horizon=args.horizon,
+                            max_events=args.max_events)
+    workload = ChaosWorkload()
+    failures = []
+
+    def report(run):
+        if run.result.ok:
+            return
+        failures.append(run)
+        if not args.json:
+            print(f"schedule {run.index}: FAILED "
+                  f"{', '.join(run.result.failed_oracles)} "
+                  f"({len(run.schedule.events)} events)")
+
+    runs = run_campaign(config, fuzzer, args.budget, workload=workload,
+                        on_result=report)
+    failure_records = []
+    for run in failures:
+        target = run.result.failed_oracles[0]
+        run_config = config.with_seed(config.seed + 1000 * run.index)
+        shrunk = shrink(run_config, run.schedule, target,
+                        workload=workload, max_runs=args.shrink_runs)
+        minimal = shrunk.schedule
+        final = None
+        bundle_path = None
+        if args.bundle_dir is not None:
+            from .chaos import run_chaos
+            final = run_chaos(run_config, minimal, workload)
+            os.makedirs(args.bundle_dir, exist_ok=True)
+            bundle_path = os.path.join(args.bundle_dir,
+                                       f"chaos-{run.index}.json")
+            write_bundle(bundle_path, run_config, workload, minimal,
+                         final)
+        failure_records.append({
+            "index": run.index,
+            "failed_oracles": list(run.result.failed_oracles),
+            "fingerprint": run.result.fingerprint,
+            "shrunk_events": [e.to_jsonable() for e in minimal.events],
+            "shrink_runs": shrunk.runs,
+            "bundle": bundle_path,
+        })
+        if not args.json:
+            where = f" -> {bundle_path}" if bundle_path else ""
+            print(f"  shrunk to {len(minimal.events)} event(s) "
+                  f"in {shrunk.runs} runs{where}")
+
+    record = {"verb": "chaos-fuzz", "budget": args.budget,
+              "seed": args.seed, "transport": args.transport,
+              "heuristic": args.heuristic, "nfsheur": args.nfsheur,
+              "clients": args.clients, "horizon": args.horizon,
+              "max_events": args.max_events,
+              "recovery": not args.no_recovery,
+              "runs": len(runs),
+              "failures": failure_records,
+              "ok": not failures}
+    if args.json:
+        print(json.dumps(record, sort_keys=True))
+    else:
+        verdict = ("all oracles green" if not failures
+                   else f"{len(failures)} failing schedule(s)")
+        print(f"chaos fuzz: {len(runs)} schedules on "
+              f"{args.transport}/{args.heuristic}: {verdict}")
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -384,6 +545,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _main_replay(argv[1:])
     if argv and argv[0] == "diagnose":
         return _main_diagnose(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _main_chaos(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         _list_experiments()

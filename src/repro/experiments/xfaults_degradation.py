@@ -72,9 +72,9 @@ def run(scale: float = 0.125, runs: int = 3, seed: int = 0) -> SeriesSet:
             acc = RunningSummary()
             err_acc = RunningSummary()
             for run_index in range(runs):
-                config = _config(
-                    transport, soft, mean_loss,
-                    seed + 1000 * run_index + int(mean_loss * 100_000))
+                run_seed = (seed + 1000 * run_index
+                            + int(mean_loss * 100_000))
+                config = _config(transport, soft, mean_loss, run_seed)
                 result = run_faulted_once(config, READERS, scale=scale)
                 if result.duplicate_executions:
                     raise AssertionError(
@@ -83,6 +83,26 @@ def run(scale: float = 0.125, runs: int = 3, seed: int = 0) -> SeriesSet:
                         "requests execute twice")
                 acc.add(result.goodput_mb_s)
                 err_acc.add(100.0 * result.error_rate)
+                # The per-run recovery counters the summary erases —
+                # published so ``--detail-out`` (and tests) can see the
+                # machinery working, not just the goodput it saved.
+                figure.detail.append({
+                    "label": label, "transport": transport,
+                    "soft": soft, "mean_loss": mean_loss,
+                    "run_index": run_index, "seed": run_seed,
+                    "goodput_mb_s": result.goodput_mb_s,
+                    "error_rate": result.error_rate,
+                    "rpc_timeouts": result.rpc_timeouts,
+                    "retransmits": result.retransmits,
+                    "tcp_segment_retransmits":
+                        result.tcp_segment_retransmits,
+                    "dupreq_hits": result.dupreq_hits,
+                    "dupreq_evictions": result.dupreq_evictions,
+                    "duplicate_executions": result.duplicate_executions,
+                    "verifier_resends": result.verifier_resends,
+                    "commit_retries": result.commit_retries,
+                    "server_crashes": result.server_crashes,
+                })
             goodput[label].add(mean_loss, acc.freeze())
             if soft:
                 err[label].add(mean_loss, err_acc.freeze())

@@ -62,11 +62,16 @@ class NetworkFaultInjector:
         self._windows: Tuple[Tuple[float, float], ...] = tuple(sorted(
             (start, start + duration)
             for start, duration in spec.partitions))
+        #: Scheduled loss bursts as (start, end, per-frame loss).
+        self._bursts: Tuple[Tuple[float, float, float], ...] = \
+            tuple(sorted((start, start + duration, loss)
+                         for start, duration, loss in spec.burst_windows))
         self.frames_seen = 0
         self.frames_lost = 0
         self.frames_corrupted = 0
         self.datagrams_duplicated = 0
         self.partition_drops = 0
+        self.burst_losses = 0
 
     # ------------------------------------------------------------------
 
@@ -97,9 +102,37 @@ class NetworkFaultInjector:
                 corrupted += 1
         return lost, corrupted
 
-    def frame_losses(self, frames: int) -> int:
+    def _burst_rate(self, now: Optional[float]) -> float:
+        """Per-frame loss of the burst window open at ``now`` (0 if none)."""
+        if now is None:
+            return 0.0
+        for start, end, loss in self._bursts:
+            if start <= now < end:
+                return loss
+        return 0.0
+
+    def _burst_frames_lost(self, frames: int, now: Optional[float]) -> int:
+        """Draw scheduled-burst losses for ``frames`` frames at ``now``.
+
+        Drawn *after* :meth:`_step_frames` so the chain's trajectory is
+        unchanged by the presence of burst windows — schedules that
+        differ only in bursts share the rest of their randomness.
+        """
+        rate = self._burst_rate(now)
+        if rate <= 0.0:
+            return 0
+        lost = 0
+        for _ in range(frames):
+            if self._rng.random() < rate:
+                lost += 1
+        self.frames_lost += lost
+        self.burst_losses += lost
+        return lost
+
+    def frame_losses(self, frames: int, now: Optional[float] = None) -> int:
         """TCP semantics: each dead frame costs one segment recovery."""
         lost, corrupted = self._step_frames(frames)
+        lost += self._burst_frames_lost(frames, now)
         return lost + corrupted
 
     def datagram_fate(self, frames: int, now: float) -> str:
@@ -108,6 +141,7 @@ class NetworkFaultInjector:
             self.partition_drops += 1
             return DROP_PARTITION
         lost, corrupted = self._step_frames(frames)
+        lost += self._burst_frames_lost(frames, now)
         if lost > 0:
             return DROP_LOSS
         if corrupted > 0:

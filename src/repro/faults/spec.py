@@ -41,6 +41,13 @@ class NetworkFaults:
 
     ``partitions`` is a tuple of ``(start, duration)`` windows of
     simulated seconds during which the link carries nothing at all.
+
+    ``burst_windows`` is a tuple of ``(start, duration, loss)`` windows:
+    while one is open, every frame is additionally lost with
+    probability ``loss`` — a *scheduled* loss burst (microwave oven,
+    flapping switch port) as opposed to the chain's stochastic ones.
+    The chaos schedule fuzzer composes its loss-burst events from
+    these.
     """
 
     p_enter_bad: float = 0.0
@@ -50,6 +57,7 @@ class NetworkFaults:
     corrupt_rate: float = 0.0
     duplicate_rate: float = 0.0
     partitions: Tuple[Tuple[float, float], ...] = ()
+    burst_windows: Tuple[Tuple[float, float, float], ...] = ()
 
     def __post_init__(self):
         for name in ("p_enter_bad", "loss_good", "loss_bad",
@@ -63,6 +71,12 @@ class NetworkFaults:
             if start < 0 or duration <= 0:
                 raise ValueError("partition windows need start >= 0 "
                                  "and duration > 0")
+        for start, duration, loss in self.burst_windows:
+            if start < 0 or duration <= 0:
+                raise ValueError("burst windows need start >= 0 "
+                                 "and duration > 0")
+            if not 0.0 < loss <= 1.0:
+                raise ValueError("burst loss must be in (0, 1]")
 
     @property
     def mean_loss(self) -> float:

@@ -104,6 +104,11 @@ class TestbedConfig:
     #: request always finds its entry — an undersized cache silently
     #: re-executes, which is the bug the cache exists to prevent.
     dupreq_cache_size: int = 4096
+    #: NFSv3 write-verifier recovery: when a COMMIT (or WRITE) reply
+    #: carries a verifier the client has not seen, re-send every
+    #: uncommitted write acked under the old boot.  Off reproduces the
+    #: classic lost-acked-data bug the chaos oracles exist to catch.
+    mount_verifier_recovery: bool = True
     seed: int = 0
 
     def fs_label(self) -> str:
@@ -286,14 +291,16 @@ class NfsTestbed(LocalTestbed):
                         record_trace=config.record_server_trace),
                     faults=server_faults)
             else:
-                rpc_server.serve(self.server.handle)
+                self.server.attach_transport(rpc_server)
             mount = NfsMount(
                 sim, machine, rpc_client,
-                config=NfsMountConfig(transport=config.transport,
-                                      read_size=config.rsize,
-                                      soft=config.mount_soft,
-                                      timeo=config.mount_timeo,
-                                      retrans=config.mount_retrans),
+                config=NfsMountConfig(
+                    transport=config.transport,
+                    read_size=config.rsize,
+                    soft=config.mount_soft,
+                    timeo=config.mount_timeo,
+                    retrans=config.mount_retrans,
+                    verifier_recovery=config.mount_verifier_recovery),
                 name=f"mnt{index}",
                 capture=self.capture, client_index=index)
             self.client_machines.append(machine)
@@ -346,6 +353,15 @@ class NfsTestbed(LocalTestbed):
         registry.gauge(
             "rpc.server.dupreq_hits",
             lambda: float(sum(s.dupreq_hits for s in rpc_servers)))
+        registry.gauge(
+            "rpc.server.dupreq_evictions",
+            lambda: float(sum(s.dupreq_evictions for s in rpc_servers)))
+        registry.gauge(
+            "nfs.server.boot_epoch",
+            lambda: float(server.boot_epoch))
+        registry.gauge(
+            "nfs.client.verifier_resends",
+            lambda: float(sum(m.stats.verifier_resends for m in mounts)))
         registry.gauge(
             "net.udp.datagrams_lost",
             lambda: float(sum(getattr(ep, "datagrams_lost", 0)

@@ -112,6 +112,19 @@ class BufferCache:
             if entry.state == _Entry.INFLIGHT or blkno in self._dirty)
         self._entries = keep
 
+    def crash(self) -> None:
+        """Power-loss semantics: drop *everything*, dirty blocks too.
+
+        A reboot loses RAM — unstable data that never reached the
+        platter is gone, which is exactly the hazard NFSv3's COMMIT and
+        write-verifier protocol exists to recover from.  In-flight disk
+        requests still complete against the new (empty) table; ``_fill``
+        tolerates the missing entries.
+        """
+        self._entries = OrderedDict()
+        self._dirty.clear()
+        self._writebacks = []
+
     @property
     def dirty_blocks(self) -> int:
         return len(self._dirty)

@@ -231,6 +231,7 @@ class RpcServer:
         self.dropped = 0
         self.dupreq_hits = 0
         self.dupreq_in_progress_drops = 0
+        self.dupreq_evictions = 0
         self.duplicate_executions = 0
         self._dupreq: "OrderedDict[Tuple[str, int], Any]" = OrderedDict()
         self._track_duplicates = track_duplicates
@@ -330,6 +331,20 @@ class RpcServer:
             for key, entry in self._dupreq.items():
                 if entry is not _IN_PROGRESS:
                     del self._dupreq[key]
+                    self.dupreq_evictions += 1
                     break
             else:
                 break
+
+    def crash_reset(self) -> None:
+        """Forget per-boot volatile state (the server machine rebooted).
+
+        The dupreq cache lives in server RAM, so a crash empties it —
+        a retransmission whose original executed before the crash will
+        re-execute after it, which is precisely why NFSv3 non-idempotent
+        recovery leans on the write verifier rather than the cache.
+        Duplicate-execution accounting restarts with the cache: the
+        idempotency oracle is a per-boot-epoch invariant.
+        """
+        self._dupreq.clear()
+        self._executed_keys.clear()

@@ -100,7 +100,8 @@ class TcpConnection:
                 # fast-retransmit-class penalty, not a whole datagram —
                 # the §5.4 asymmetry with UDP.  (Sequence numbers also
                 # make TCP immune to duplication faults.)
-                for _ in range(self.faults.frame_losses(plan.frames)):
+                for _ in range(self.faults.frame_losses(plan.frames,
+                                                        self.sim.now)):
                     self.retransmits += 1
                     yield self.sim.timeout(self.retransmit_timeout)
             elif self.loss_rate > 0.0:

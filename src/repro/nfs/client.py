@@ -61,6 +61,13 @@ class NfsMountConfig:
     #: Retransmissions before a *soft* mount reports failure
     #: (``retrans``, classic default 4); ignored on hard mounts.
     retrans: int = 4
+    #: NFSv3 write-verifier recovery: track every unstable write until
+    #: COMMIT confirms it under an unchanged verifier, re-sending when
+    #: the verifier rolls (a server reboot discarded the data).  This is
+    #: the protocol-mandated behaviour; turning it off reproduces a
+    #: client that trusts UNSTABLE acks across reboots — the chaos
+    #: engine's no-lost-acked-data oracle catches exactly that bug.
+    verifier_recovery: bool = True
     #: CPU to marshal one call (XDR encode, socket send).
     marshal_cpu: float = 0.00005
     #: CPU to process one reply (mbuf chain walk, copy into cache).
@@ -82,6 +89,31 @@ class NfsMountStats:
     readahead_skipped_busy: int = 0
     #: Major timeouts surfaced as ETIMEDOUT (soft mounts only).
     timeouts: int = 0
+    #: Synchronous FILE_SYNC writes (durable on acknowledgement).
+    stable_writes: int = 0
+    #: Unstable writes re-sent because the write verifier changed.
+    verifier_resends: int = 0
+    #: COMMIT loops re-entered after a verifier mismatch.
+    commit_retries: int = 0
+    #: Verifier changes observed (server reboots this client noticed).
+    server_reboots_observed: int = 0
+
+
+class _PendingWrite:
+    """One uncommitted block write the mount still vouches for.
+
+    ``datum`` is the content token sent; ``verifier`` is the write
+    verifier it was acknowledged under (``None`` = unacknowledged, or
+    invalidated by a verifier change and due for re-send); ``event``
+    completes when the in-flight WRITE RPC resolves.
+    """
+
+    __slots__ = ("datum", "verifier", "event")
+
+    def __init__(self, datum: int):
+        self.datum = datum
+        self.verifier: Optional[int] = None
+        self.event: Optional[Event] = None
 
 
 class NfsFile:
@@ -141,6 +173,15 @@ class NfsMount:
         #: side can measure reordering, as the paper's instrumentation
         #: did).
         self._issue_seq: Dict[int, int] = {}
+        #: fh.id -> {block -> _PendingWrite}: every unstable write not
+        #: yet confirmed by a COMMIT under an unchanged verifier.
+        self._pending: Dict[int, Dict[int, _PendingWrite]] = {}
+        #: Last write verifier observed from the server (None until the
+        #: first WRITE/COMMIT reply carries one).
+        self._server_verifier: Optional[int] = None
+        #: Monotone content-token generator for this mount's writes
+        #: (client_index spreads mounts into disjoint token spaces).
+        self._write_gen = client_index * 1_000_000
 
     # ------------------------------------------------------------------
 
@@ -256,35 +297,196 @@ class NfsMount:
         for block in range(first, last + 1):
             self.stats.writes += 1
             self._cache[(nfile.fh.id, block)] = "ready"
+            entry = yield from self._new_pending(nfile, block)
             if self.nfsiods.try_acquire():
-                self.sim.spawn(self._nfsiod_write(nfile, block,
+                self.sim.spawn(self._nfsiod_write(nfile, block, entry,
                                                   parent=span),
                                name=f"{self.name}.nfsiod-w")
             else:
-                yield from self._write_block(nfile, block, parent=span)
+                yield from self._write_block(nfile, block, entry,
+                                             parent=span)
         return nbytes
 
+    def write_stable(self, nfile: NfsFile, offset: int, nbytes: int,
+                     span=None):
+        """Synchronous FILE_SYNC write (generator; returns the written
+        ``{block: datum}`` tokens).
+
+        A stable write is durable the moment it is acknowledged — the
+        server flushed before replying — so it never enters the pending
+        set; it also supersedes any pending unstable write to the same
+        blocks (re-sending the older data would roll content backwards).
+        """
+        if offset < 0 or nbytes <= 0:
+            raise ValueError("bad write range")
+        if offset >= nfile.size:
+            return {}
+        nbytes = min(nbytes, nfile.size - offset)
+        if self.capture is not None:
+            self.capture.record(self.sim.now, self.client_index,
+                                OP_WRITE, nfile.name, offset, nbytes)
+        bs = self.config.read_size
+        first = offset // bs
+        last = (offset + nbytes - 1) // bs
+        written: Dict[int, int] = {}
+        for block in range(first, last + 1):
+            self.stats.writes += 1
+            self._cache[(nfile.fh.id, block)] = "ready"
+            entry = yield from self._new_pending(nfile, block)
+            yield from self._write_block(nfile, block, entry,
+                                         stable=True, parent=span)
+            pending = self._pending.get(nfile.fh.id)
+            if pending is not None:
+                pending.pop(block, None)
+            written[block] = entry.datum
+            self.stats.stable_writes += 1
+        return written
+
     def commit(self, nfile: NfsFile, span=None):
-        """COMMIT: flush unstable server-side writes (generator)."""
+        """COMMIT: flush unstable server-side writes (generator).
+
+        Implements the NFSv3 recovery loop: wait for in-flight writes,
+        re-send any whose acknowledgement was invalidated by a verifier
+        change, COMMIT, and compare the reply's verifier against each
+        write's — a mismatch means a reboot discarded the data after it
+        was acknowledged, so those writes are re-sent and the COMMIT
+        retried.  Returns the committed ``{block: datum}`` tokens (the
+        data this mount now guarantees is on stable storage).
+        """
         if self.capture is not None:
             self.capture.record(self.sim.now, self.client_index,
                                 OP_COMMIT, nfile.name)
-        started = self.sim.now
-        yield from self.machine.execute(self.config.marshal_cpu)
-        self._m_cpu.observe(self.sim.now - started)
-        request = CommitRequest(fh=nfile.fh)
-        reply = yield from self._call(request, parent=span)
-        if not isinstance(reply, CommitReply):
-            raise TypeError(f"bad COMMIT reply {reply!r}")
-        self.stats.commits += 1
-        return None
+        file_pending = self._pending.get(nfile.fh.id)
+        #: Snapshot of the entries this COMMIT vouches for — writes that
+        #: race in after this point belong to the *next* commit.
+        pending = dict(file_pending) if file_pending is not None else {}
+        recovery = self.config.verifier_recovery
+        while True:
+            for block in sorted(pending):
+                event = pending[block].event
+                if event is not None and not event.processed:
+                    yield event
+            if recovery:
+                for block in sorted(pending):
+                    entry = pending[block]
+                    if entry.verifier is None:
+                        self.stats.verifier_resends += 1
+                        yield from self._write_block(nfile, block, entry,
+                                                     parent=span)
+            started = self.sim.now
+            yield from self.machine.execute(self.config.marshal_cpu)
+            self._m_cpu.observe(self.sim.now - started)
+            request = CommitRequest(fh=nfile.fh)
+            reply = yield from self._call(request, parent=span)
+            if not isinstance(reply, CommitReply):
+                raise TypeError(f"bad COMMIT reply {reply!r}")
+            self.stats.commits += 1
+            verifier = reply.verifier
+            if verifier is not None:
+                self._observe_verifier(verifier)
+            if not recovery or verifier is None:
+                break
+            stale = [block for block, entry in pending.items()
+                     if entry.verifier != verifier]
+            if not stale:
+                break
+            # The server rebooted between (some) WRITE acks and this
+            # COMMIT: those blocks' unstable data is gone.  Mark them
+            # for re-send and go around again.
+            self.stats.commit_retries += 1
+            for block in stale:
+                pending[block].verifier = None
+        committed = {block: entry.datum
+                     for block, entry in pending.items()}
+        if file_pending is not None:
+            for block, entry in pending.items():
+                if file_pending.get(block) is entry:
+                    del file_pending[block]
+            if not file_pending:
+                self._pending.pop(nfile.fh.id, None)
+        return committed
 
-    def _nfsiod_write(self, nfile: NfsFile, block: int, parent=None):
+    def read_versions(self, nfile: NfsFile, blocks, span=None):
+        """Direct per-block READs, bypassing the client cache
+        (generator; returns ``{block: token}``).
+
+        The chaos oracles' end-to-end read path: what would a fresh
+        client see for these blocks *right now*?
+        """
+        versions: Dict[int, int] = {}
+        bs = self.config.read_size
+        for block in sorted(blocks):
+            offset = block * bs
+            count = min(bs, nfile.size - offset)
+            if count <= 0:
+                versions[block] = 0
+                continue
+            seq = self._issue_seq.get(nfile.fh.id, 0)
+            self._issue_seq[nfile.fh.id] = seq + 1
+            request = ReadRequest(fh=nfile.fh, offset=offset,
+                                  count=count, seq=seq)
+            yield from self.machine.execute(self.config.marshal_cpu)
+            reply = yield from self._call(request, parent=span)
+            if not isinstance(reply, ReadReply):
+                raise TypeError(f"bad READ reply {reply!r}")
+            versions[block] = reply.data[0] if reply.data else 0
+        return versions
+
+    # ------------------------------------------------------------------
+
+    def _next_datum(self) -> int:
+        self._write_gen += 1
+        return self._write_gen
+
+    def _new_pending(self, nfile: NfsFile, block: int):
+        """Allocate the pending entry for one block write (generator).
+
+        Writes to the same block are serialised: if an older write is
+        still in flight, wait for it first — two in-flight WRITEs for
+        one block could otherwise land out of order.
+        """
+        pending = self._pending.setdefault(nfile.fh.id, {})
+        previous = pending.get(block)
+        if previous is not None and previous.event is not None \
+                and not previous.event.processed:
+            yield previous.event
+        entry = _PendingWrite(self._next_datum())
+        entry.event = self.sim.event(
+            name=f"{self.name}.wr{nfile.fh.id}.{block}")
+        pending[block] = entry
+        return entry
+
+    def _observe_verifier(self, verifier: int) -> None:
+        """Fold a reply's write verifier into the recovery state.
+
+        A change means the server rebooted: every write acknowledged
+        under the old verifier was discarded with the old incarnation's
+        cache, so those acknowledgements are revoked (the commit loop
+        re-sends the data).
+        """
+        if self._server_verifier == verifier:
+            return
+        first = self._server_verifier is None
+        self._server_verifier = verifier
+        if first:
+            return
+        self.stats.server_reboots_observed += 1
+        if not self.config.verifier_recovery:
+            return
+        for pending in self._pending.values():
+            for entry in pending.values():
+                if entry.verifier is not None \
+                        and entry.verifier != verifier:
+                    entry.verifier = None
+
+    def _nfsiod_write(self, nfile: NfsFile, block: int,
+                      entry: _PendingWrite, parent=None):
         span = self.sim.obs.tracer.start(
             "nfsiod.write", "client.nfsiod", parent=parent,
             detached=True, block=block)
         try:
-            yield from self._write_block(nfile, block, parent=span)
+            yield from self._write_block(nfile, block, entry,
+                                         parent=span)
         except NfsTimeoutError:
             # Write-behind failure: the real client reports it at the
             # next write or close; here it is visible in stats.timeouts.
@@ -294,7 +496,9 @@ class NfsMount:
             span.finish()
         return None
 
-    def _write_block(self, nfile: NfsFile, block: int, parent=None):
+    def _write_block(self, nfile: NfsFile, block: int,
+                     entry: _PendingWrite, stable: bool = False,
+                     parent=None):
         config = self.config
         bs = config.read_size
         offset = block * bs
@@ -302,7 +506,8 @@ class NfsMount:
         seq = self._issue_seq.get(nfile.fh.id, 0)
         self._issue_seq[nfile.fh.id] = seq + 1
         request = WriteRequest(fh=nfile.fh, offset=offset, count=count,
-                               seq=seq)
+                               stable=stable, seq=seq,
+                               datum=(entry.datum,))
         started = self.sim.now
         if config.transport == "udp":
             yield from self.machine.execute(config.marshal_cpu,
@@ -311,10 +516,22 @@ class NfsMount:
             yield from self.machine.execute(
                 config.marshal_cpu + config.tcp_extra_cpu)
         self._m_cpu.observe(self.sim.now - started)
-        reply = yield from self._call(request, parent=parent)
+        try:
+            reply = yield from self._call(request, parent=parent)
+        except NfsTimeoutError:
+            # Soft-mount failure: release co-waiters; the entry stays
+            # unacknowledged (and is re-sent if a commit ever runs).
+            if entry.event is not None and not entry.event.triggered:
+                entry.event.succeed()
+            raise
         if not isinstance(reply, WriteReply):
             raise TypeError(f"bad WRITE reply {reply!r}")
         self.stats.rpc_writes += 1
+        if reply.verifier is not None:
+            self._observe_verifier(reply.verifier)
+            entry.verifier = reply.verifier
+        if entry.event is not None and not entry.event.triggered:
+            entry.event.succeed()
         return None
 
     def getattr(self, nfile: NfsFile, span=None):

@@ -1,13 +1,23 @@
-"""NFS v3 message bodies (the READ-path subset).
+"""NFS v3 message bodies (the READ-path subset plus the write path).
 
 The benchmarks are pure-read (§4.2), so READ plus the handshake ops the
-client path needs (LOOKUP, GETATTR) are modelled; write and metadata
-mutation traffic is the paper's own future work (§8).
+client path needs (LOOKUP, GETATTR) are modelled; WRITE/COMMIT carry
+the full NFSv3 stability contract — UNSTABLE replies and COMMIT replies
+both bear the server's per-boot **write verifier**, the token a client
+compares to detect that a reboot discarded its uncommitted writes.
+
+Payload content is not simulated byte-for-byte; instead WRITE requests
+may carry per-block **datum tokens** (small integers naming the written
+content) and READ replies echo the tokens currently visible for the
+blocks they cover.  The tokens ride outside ``payload_bytes`` — they
+are correctness bookkeeping for the chaos oracles, not wire bytes, so
+carrying them cannot perturb any timing result.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from .fhandle import FileHandle
 
@@ -46,6 +56,9 @@ class ReadReply:
     offset: int
     count: int          # bytes actually read (clamped at EOF)
     eof: bool
+    #: Content tokens for the blocks covered, in block order (empty when
+    #: the file has never seen a tokened write — the read benchmarks).
+    data: Tuple[int, ...] = ()
 
     @property
     def payload_bytes(self) -> int:
@@ -60,6 +73,9 @@ class WriteRequest:
     #: NFSv3 stability: False = UNSTABLE (server may reply from cache).
     stable: bool = False
     seq: int = 0
+    #: Content tokens for the blocks covered (empty = untokened write;
+    #: the legacy write benchmarks send no tokens and pay no cost).
+    datum: Tuple[int, ...] = ()
 
     def __post_init__(self):
         if self.offset < 0 or self.count <= 0:
@@ -75,6 +91,12 @@ class WriteReply:
     fh: FileHandle
     offset: int
     count: int
+    #: How the write was committed: True = FILE_SYNC (on the platter
+    #: before this reply), False = UNSTABLE (cache only).
+    stable: bool = False
+    #: The server's per-boot write verifier.  A change between two
+    #: replies tells the client a reboot discarded unstable data.
+    verifier: Optional[int] = None
 
     @property
     def payload_bytes(self) -> int:
@@ -93,6 +115,9 @@ class CommitRequest:
 @dataclass(frozen=True)
 class CommitReply:
     fh: FileHandle
+    #: The write verifier as of this COMMIT; if it differs from the one
+    #: the WRITE replies carried, the client must re-send those writes.
+    verifier: Optional[int] = None
 
     @property
     def payload_bytes(self) -> int:

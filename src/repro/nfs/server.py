@@ -20,7 +20,7 @@ authors exploited in the real server.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..faults.server import CRASH, ServerFaultInjector
 from ..ffs import FileSystem, Inode
@@ -32,7 +32,8 @@ from .fhandle import FileHandle
 from .nfsheur import DEFAULT_NFSHEUR, NfsHeurParams, NfsHeurTable
 from .protocol import (CommitReply, CommitRequest, GetattrReply,
                        GetattrRequest, LookupReply, LookupRequest,
-                       ReadReply, ReadRequest, WriteReply, WriteRequest)
+                       NFS_READ_SIZE, ReadReply, ReadRequest, WriteReply,
+                       WriteRequest)
 
 
 @dataclass
@@ -86,6 +87,21 @@ class NfsServer:
         #: While ``now < _down_until`` the server is rebooting: requests
         #: are dropped unanswered (clients recover by retransmission).
         self._down_until = 0.0
+        #: Incremented per crash; a handler that spans a reboot must not
+        #: reply (the request died with the old incarnation's RAM).
+        self.boot_epoch = 0
+        #: The NFSv3 per-boot write verifier (RFC 1813 §3.3.7): rolls
+        #: with every reboot so clients can detect lost unstable writes.
+        self.write_verifier = self._verifier_for_epoch(0)
+        #: Every RpcServer delivering requests to this server; their
+        #: dupreq caches are RAM and die with a crash.
+        self._transports: List[RpcServer] = []
+        #: Content-token bookkeeping (the chaos oracles' ground truth):
+        #: (fh.id, block) -> the token currently readable / on-platter.
+        self._volatile: Dict[Tuple[int, int], int] = {}
+        self._durable: Dict[Tuple[int, int], int] = {}
+        #: Keys whose volatile token has not yet reached stable storage.
+        self._unstable: Set[Tuple[int, int]] = set()
         #: While ``now < _stall_until`` new requests wait (nfsd wedge).
         self._stall_until = 0.0
         self.heuristic: Heuristic = heuristic or DefaultHeuristic()
@@ -108,13 +124,31 @@ class NfsServer:
         self.trace = []
         self._by_fh: Dict[FileHandle, Inode] = {}
         self._by_name: Dict[str, FileHandle] = {}
-        rpc.serve(self.handle)
+        self.attach_transport(rpc)
         for name in fs.files:
             self._export(fs.files[name])
         if faults is not None and faults.has_events:
             sim.spawn(self._fault_controller(), name="nfs-server.faults")
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _verifier_for_epoch(epoch: int) -> int:
+        """A 64-bit verifier value, distinct per boot, seed-independent
+        (the real verifier is typically boot time; any injective map of
+        the epoch works and keeps runs deterministic)."""
+        return (0x6E667376 ^ (epoch * 0x9E3779B97F4A7C15)) \
+            & 0xFFFFFFFFFFFFFFFF
+
+    def attach_transport(self, rpc: RpcServer) -> None:
+        """Serve requests arriving on ``rpc`` (one per client channel).
+
+        Registering here (rather than calling ``rpc.serve`` directly)
+        lets a crash wipe every channel's dupreq cache, which lives in
+        the rebooting machine's RAM.
+        """
+        rpc.serve(self.handle)
+        self._transports.append(rpc)
 
     def _fault_controller(self):
         """Enact the injector's crash/stall timetable."""
@@ -126,17 +160,54 @@ class NfsServer:
                 self.faults.crashes += 1
                 self.stats.crashes += 1
                 self._down_until = self.sim.now + spec.restart_delay
-                # The reboot loses the buffer cache: post-restart reads
-                # all go to the platter (an NFS server keeps no other
-                # hard state, which is exactly why retransmission is a
-                # complete recovery story).
-                self.fs.cache.flush()
+                self._crash()
             else:
                 self.faults.stalls += 1
                 self.stats.stalls += 1
                 self._stall_until = max(
                     self._stall_until, self.sim.now + spec.stall_duration)
         return None
+
+    def _crash(self) -> None:
+        """Lose everything a reboot loses, in one atomic instant.
+
+        The buffer cache goes (dirty blocks included — an NFS server
+        keeps no other hard state), the dupreq caches go, unstable
+        tokens revert to their last durable value, and the write
+        verifier rolls so clients can tell.
+        """
+        self.boot_epoch += 1
+        self.write_verifier = self._verifier_for_epoch(self.boot_epoch)
+        for key in sorted(self._unstable):
+            durable = self._durable.get(key)
+            if durable is None:
+                self._volatile.pop(key, None)
+            else:
+                self._volatile[key] = durable
+        self._unstable.clear()
+        self.fs.cache.crash()
+        for transport in self._transports:
+            transport.crash_reset()
+
+    def _sync_and_promote(self, epoch: int):
+        """Flush the cache; promote what it held to durable (generator).
+
+        ``fs.cache.sync()`` flushes the *whole* cache, so everything
+        volatile at issue time becomes durable — snapshotting at issue
+        keeps writes that arrive during the flush correctly unstable.
+        Returns False (promoting nothing) if a crash interrupted the
+        flush: the data never reached the platter and the caller must
+        not claim it did.
+        """
+        snapshot = sorted(self._volatile.items())
+        yield self.fs.cache.sync()
+        if self.boot_epoch != epoch:
+            return False
+        for key, token in snapshot:
+            self._durable[key] = token
+            if self._volatile.get(key) == token:
+                self._unstable.discard(key)
+        return True
 
     # ------------------------------------------------------------------
 
@@ -158,6 +229,15 @@ class NfsServer:
         return sorted((inode.name, inode.size)
                       for inode in self._by_fh.values())
 
+    def volatile_token(self, fh: FileHandle, block: int) -> int:
+        """The content token a READ of ``block`` would see (0 = never
+        written with tokens)."""
+        return self._volatile.get((fh.id, block), 0)
+
+    def durable_token(self, fh: FileHandle, block: int) -> int:
+        """The content token that would survive a crash right now."""
+        return self._durable.get((fh.id, block), 0)
+
     # ------------------------------------------------------------------
 
     def handle(self, request, span=None):
@@ -171,6 +251,7 @@ class NfsServer:
         if self.sim.now < self._down_until:
             self.stats.dropped_requests += 1
             return None
+        epoch = self.boot_epoch
         if self.sim.now < self._stall_until:
             yield self.sim.timeout(self._stall_until - self.sim.now)
         op = type(request).__name__
@@ -206,6 +287,12 @@ class NfsServer:
             service.observe(self.sim.now - started)
             if nfsd_span is not None:
                 nfsd_span.finish()
+        if reply is None or self.boot_epoch != epoch:
+            # The handler spanned a reboot: the request's state died
+            # with the old incarnation, so no reply leaves the server —
+            # the client's retransmission executes afresh.
+            self.stats.dropped_requests += 1
+            return None
         return reply, reply.payload_bytes
 
     def _read(self, request: ReadRequest, span=None):
@@ -246,31 +333,66 @@ class NfsServer:
         self.stats.reads += 1
         self.stats.bytes_served += got
         eof = request.offset + got >= inode.size
+        if self._volatile and got > 0:
+            bs = NFS_READ_SIZE
+            first = request.offset // bs
+            last = (request.offset + got - 1) // bs
+            data = tuple(self._volatile.get((request.fh.id, block), 0)
+                         for block in range(first, last + 1))
+        else:
+            data = ()
         return ReadReply(fh=request.fh, offset=request.offset,
-                         count=got, eof=eof)
+                         count=got, eof=eof, data=data)
 
     def _write(self, request: WriteRequest):
         """NFSv3 WRITE: data lands in the buffer cache (UNSTABLE) or is
-        forced to the platter before replying (stable)."""
+        forced to the platter before replying (FILE_SYNC).
+
+        Token bookkeeping follows the data's real journey: tokens go
+        volatile+unstable as soon as the cache holds them, and become
+        durable only once a flush completes *in the same boot epoch* —
+        the server never acknowledges stability it cannot honour.
+        """
         config = self.config
+        epoch = self.boot_epoch
         yield from self.machine.execute(
             config.cpu_per_call + request.count * config.cpu_per_byte)
+        if self.boot_epoch != epoch:
+            return None
         inode = self._by_fh[request.fh]
         got = yield from self.fs.write(inode, request.offset,
                                        request.count, stream=request.fh)
+        if self.boot_epoch != epoch:
+            return None
+        if request.datum:
+            bs = NFS_READ_SIZE
+            first = request.offset // bs
+            for index, token in enumerate(request.datum):
+                key = (request.fh.id, first + index)
+                self._volatile[key] = token
+                self._unstable.add(key)
         if request.stable:
-            yield self.fs.cache.sync()
+            ok = yield from self._sync_and_promote(epoch)
+            if not ok:
+                return None
         self.stats.writes += 1
         self.stats.bytes_written += got
         return WriteReply(fh=request.fh, offset=request.offset,
-                          count=got)
+                          count=got, stable=request.stable,
+                          verifier=self.write_verifier)
 
     def _commit(self, request: CommitRequest):
-        """NFSv3 COMMIT: flush unstable writes to stable storage."""
+        """NFSv3 COMMIT: flush unstable writes to stable storage and
+        report the write verifier the client must compare."""
+        epoch = self.boot_epoch
         yield from self.machine.execute(self.config.cpu_per_call)
-        yield self.fs.cache.sync()
+        if self.boot_epoch != epoch:
+            return None
+        ok = yield from self._sync_and_promote(epoch)
+        if not ok:
+            return None
         self.stats.commits += 1
-        return CommitReply(fh=request.fh)
+        return CommitReply(fh=request.fh, verifier=self.write_verifier)
 
     def _lookup(self, request: LookupRequest):
         yield from self.machine.execute(self.config.cpu_per_call)

@@ -47,6 +47,12 @@ class SeriesSet:
     xlabel: str = "x"
     ylabel: str = "Throughput (MB/s)"
     series: List[Series] = field(default_factory=list)
+    #: Optional per-run records behind the summarised points (plain
+    #: JSON-ready dicts).  Experiments that keep raw counters worth
+    #: publishing — e.g. ``xfaults``'s per-run retransmit and recovery
+    #: counts — append them here; the CLI's ``--detail-out`` writes
+    #: them to a file.  Rendering ignores this field entirely.
+    detail: List[dict] = field(default_factory=list)
 
     def new_series(self, label: str) -> Series:
         s = Series(label)

@@ -272,3 +272,26 @@ class TestExtensionExperiments(object):
         for fragmentation in (0.0, 0.5):
             assert figure.get("always").at(fragmentation).mean > \
                 3 * figure.get("no-readahead").at(fragmentation).mean
+
+    def test_xfaults_publishes_per_run_detail(self, figures):
+        """Satellite of the chaos PR: the per-run recovery counters
+        behind the summarised goodput points survive into
+        ``figure.detail`` instead of being averaged away."""
+        records = figures["xfaults"].detail
+        # 4 combos x 4 loss rates x RUNS runs.
+        assert len(records) == 4 * 4 * RUNS
+        required = {"label", "transport", "soft", "mean_loss",
+                    "run_index", "seed", "goodput_mb_s", "error_rate",
+                    "rpc_timeouts", "retransmits",
+                    "tcp_segment_retransmits", "dupreq_hits",
+                    "dupreq_evictions", "duplicate_executions",
+                    "verifier_resends", "commit_retries",
+                    "server_crashes"}
+        for record in records:
+            assert required <= set(record)
+            assert record["duplicate_executions"] == 0
+        lossy_udp = [r for r in records
+                     if r["transport"] == "udp" and r["mean_loss"] > 0]
+        assert any(r["retransmits"] > 0 for r in lossy_udp)
+        clean = [r for r in records if r["mean_loss"] == 0.0]
+        assert all(r["retransmits"] == 0 for r in clean)

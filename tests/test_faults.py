@@ -77,6 +77,27 @@ class TestNetworkInjector:
         assert injector.frame_losses(6) == 6
         assert injector.frames_lost == 6
 
+    def test_burst_window_validation(self):
+        with pytest.raises(ValueError):
+            NetworkFaults(burst_windows=((1.0, -1.0, 0.5),))
+        with pytest.raises(ValueError):
+            NetworkFaults(burst_windows=((1.0, 1.0, 0.0),))
+        with pytest.raises(ValueError):
+            NetworkFaults(burst_windows=((1.0, 1.0, 1.5),))
+
+    def test_burst_window_loses_frames_only_while_open(self):
+        spec = NetworkFaults(burst_windows=((1.0, 2.0, 1.0),))
+        injector = NetworkFaultInjector(spec, random.Random(0))
+        # Outside the window the link is clean.
+        assert injector.datagram_fate(6, now=0.5) == "deliver"
+        assert injector.frame_losses(6, now=3.5) == 0
+        # Inside, a rate-1.0 burst kills every frame.
+        assert injector.datagram_fate(6, now=1.5) == "drop-loss"
+        assert injector.frame_losses(6, now=2.9) == 6
+        assert injector.burst_losses == 12
+        # TCP call sites that predate `now` still work (no burst).
+        assert injector.frame_losses(6) == 0
+
 
 class TestDiskInjector:
     def test_media_errors_add_latency_to_media_reads_only(self):
