@@ -13,7 +13,6 @@ represents the average of at least ten separate runs").
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -288,22 +287,19 @@ def run_stride_once(config: TestbedConfig, strides: int,
 # Repetition
 # ---------------------------------------------------------------------------
 
-def _throughput_worker(job: Tuple[Callable, TestbedConfig]) -> float:
-    """One repeat in a worker process (module-level: picklable)."""
-    run_once, config = job
-    return run_once(config).throughput_mb_s
-
-
 def collect_throughputs(run_once: Callable[[TestbedConfig], RunResult],
                         config: TestbedConfig, runs: int,
                         jobs: int = 1) -> List[float]:
     """Per-seed throughputs for ``runs`` repeats, in seed order.
 
-    With ``jobs > 1`` the repeats run in a process pool.  Each run is a
-    pure function of (config, seed) — inode numbering, RNG streams, and
-    the simulator clock are all per-testbed — and ``Pool.map`` returns
-    results in submission order, so the list (and anything folded from
-    it in order) is byte-identical to the serial path.
+    With ``jobs > 1`` the repeats are sharded across worker processes
+    by the campaign orchestrator (see :mod:`repro.campaign`), which
+    journals every completed repeat and transparently re-dispatches a
+    repeat whose worker crashes or hangs.  Each run is a pure function
+    of (config, seed) — inode numbering, RNG streams, and the simulator
+    clock are all per-testbed — and the orchestrator folds results in
+    seed order, so the list (and anything folded from it in order) is
+    byte-identical to the serial path.
 
     Parallelism is skipped under an active observability session: the
     workers' obs state would die with them, silently dropping spans.
@@ -312,13 +308,12 @@ def collect_throughputs(run_once: Callable[[TestbedConfig], RunResult],
         raise ValueError("need at least one run")
     if jobs < 1:
         raise ValueError("need at least one job")
-    seeds = [config.with_seed(config.seed + 1000 * index)
-             for index in range(runs)]
     if jobs == 1 or runs == 1 or active_session() is not None:
+        seeds = [config.with_seed(config.seed + 1000 * index)
+                 for index in range(runs)]
         return [run_once(seeded).throughput_mb_s for seeded in seeds]
-    with multiprocessing.Pool(processes=min(jobs, runs)) as pool:
-        return pool.map(_throughput_worker,
-                        [(run_once, seeded) for seeded in seeds])
+    from ..campaign import collect_throughputs_sharded
+    return collect_throughputs_sharded(run_once, config, runs, jobs)
 
 
 def repeat(run_once: Callable[[TestbedConfig], RunResult],

@@ -1,0 +1,263 @@
+"""Campaign drivers: bench and chaos campaigns end to end.
+
+These functions connect the generic orchestrator to the two verb-level
+folds the repository already speaks:
+
+* :func:`run_bench_campaign` — shards seeded benchmark repeats and
+  folds them into the exact record ``bench --jobs 1`` produces
+  (byte-identical throughput list, mean, and std), then optionally
+  streams the record into the PR-4 bench history store;
+* :func:`run_chaos_campaign` — shards fuzzed schedules, dedupes
+  failures by their SHA-256 run fingerprint (a 100k-schedule campaign
+  typically rediscovers the same bug thousands of times), and shrinks
+  + bundles one representative per distinct fingerprint.
+
+Both return ``(record, outcome)``: ``record`` is the deterministic
+fold, ``outcome`` carries the coverage accounting.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import tempfile
+from typing import Callable, List, Optional, Tuple
+
+from .cells import CampaignSpec, run_spec_cell
+from .orchestrator import (CampaignOptions, CampaignOutcome,
+                           run_sharded)
+
+
+class CampaignIncomplete(RuntimeError):
+    """A campaign whose fold is demanded but whose cells are not all done."""
+
+    def __init__(self, outcome: CampaignOutcome, what: str):
+        self.outcome = outcome
+        coverage = outcome.coverage
+        missing = [o for o in outcome.outcomes if o.status != "done"]
+        reasons = "; ".join(
+            f"cell {o.index}: {o.reason}" for o in missing[:3])
+        super().__init__(
+            f"{what}: {coverage['done']}/{coverage['cells']} cells done "
+            f"({coverage['abandoned']} abandoned, "
+            f"{coverage['not_run']} not run) — {reasons}")
+
+
+def _spec_header(spec: CampaignSpec) -> dict:
+    return {"campaign": spec.to_jsonable(),
+            "fingerprint": spec.fingerprint()}
+
+
+def run_spec_campaign(spec: CampaignSpec, journal_path: str,
+                      options: Optional[CampaignOptions] = None,
+                      resume: bool = False,
+                      progress: Optional[Callable[[dict], None]] = None
+                      ) -> CampaignOutcome:
+    """Run (or resume) a JSON-spec campaign over its journal."""
+    runner = functools.partial(run_spec_cell, spec.to_jsonable())
+    return run_sharded(runner, spec.cells, journal_path,
+                       _spec_header(spec), options=options,
+                       resume=resume, progress=progress)
+
+
+# ---------------------------------------------------------------------------
+# bench
+# ---------------------------------------------------------------------------
+
+def bench_spec(runs: int, *, drive: str = "ide", partition: int = 1,
+               transport: str = "udp", heuristic: str = "default",
+               nfsheur: str = "default", readers: int = 4,
+               scale: float = 0.125, seed: int = 0) -> CampaignSpec:
+    return CampaignSpec(kind="bench", cells=runs, params={
+        "drive": drive, "partition": partition, "transport": transport,
+        "server_heuristic": heuristic, "nfsheur": nfsheur,
+        "readers": readers, "scale": scale, "seed": seed})
+
+
+def fold_bench(spec: CampaignSpec,
+               outcome: CampaignOutcome) -> Tuple[dict, List[float]]:
+    """Fold a complete bench campaign into the `bench` record shape."""
+    if not outcome.complete:
+        raise CampaignIncomplete(outcome, "bench campaign")
+    from ..stats import RunningSummary
+    throughputs = [o.result["throughput_mb_s"] for o in outcome.outcomes]
+    acc = RunningSummary()
+    for throughput in throughputs:
+        acc.add(throughput)
+    summary = acc.freeze()
+    params = spec.params
+    record = {"verb": "bench", "drive": params["drive"],
+              "partition": params["partition"],
+              "transport": params["transport"],
+              "heuristic": params["server_heuristic"],
+              "nfsheur": params["nfsheur"],
+              "readers": params["readers"], "scale": params["scale"],
+              "seed": params["seed"], "runs": spec.cells,
+              "throughputs_mb_s": throughputs,
+              "mean_mb_s": summary.mean, "std_mb_s": summary.std}
+    return record, throughputs
+
+
+def run_bench_campaign(spec: CampaignSpec, journal_path: str,
+                       options: Optional[CampaignOptions] = None,
+                       resume: bool = False,
+                       progress=None,
+                       history: Optional[str] = None
+                       ) -> Tuple[dict, CampaignOutcome]:
+    outcome = run_spec_campaign(spec, journal_path, options=options,
+                                resume=resume, progress=progress)
+    record, _ = fold_bench(spec, outcome)
+    if history is not None:
+        from ..diagnose import append_history
+        append_history(history, record)
+    return record, outcome
+
+
+def collect_throughputs_sharded(run_once, config, runs: int,
+                                jobs: int) -> List[float]:
+    """Orchestrated replacement for the in-process ``--jobs`` pool.
+
+    Accepts the same arguments as the serial path in
+    :func:`repro.bench.runner.collect_throughputs`: an arbitrary
+    picklable ``run_once`` and a base config.  Cells run in worker
+    processes under an ephemeral journal (crash recovery and retries
+    included); the returned list is in seed order, so any fold over it
+    is byte-identical to serial.
+    """
+    seeds = [config.with_seed(config.seed + 1000 * index)
+             for index in range(runs)]
+    runner = functools.partial(_callable_cell, run_once, seeds)
+    options = CampaignOptions(workers=min(jobs, runs))
+    with tempfile.TemporaryDirectory(prefix="bench-jobs-") as tmp:
+        outcome = run_sharded(
+            runner, runs, os.path.join(tmp, "journal.jsonl"),
+            {"campaign": {"kind": "bench-inline", "cells": runs},
+             "fingerprint": "ephemeral"},
+            options=options)
+    if not outcome.complete:
+        raise CampaignIncomplete(outcome, "bench --jobs")
+    return [o.result["throughput_mb_s"] for o in outcome.outcomes]
+
+
+def _callable_cell(run_once, seeds, index: int) -> dict:
+    return {"throughput_mb_s": run_once(seeds[index]).throughput_mb_s}
+
+
+# ---------------------------------------------------------------------------
+# chaos
+# ---------------------------------------------------------------------------
+
+def chaos_spec(budget: int, *, transport: str = "udp",
+               heuristic: str = "default", nfsheur: str = "default",
+               clients: int = 2, horizon: float = 20.0,
+               max_events: int = 4, recovery: bool = True,
+               seed: int = 0, workload: Optional[dict] = None
+               ) -> CampaignSpec:
+    params = {"transport": transport, "server_heuristic": heuristic,
+              "nfsheur": nfsheur, "num_clients": clients,
+              "horizon": horizon, "max_events": max_events,
+              "mount_verifier_recovery": recovery, "seed": seed}
+    if workload is not None:
+        params["workload"] = workload
+    return CampaignSpec(kind="chaos", cells=budget, params=params)
+
+
+def fold_chaos(spec: CampaignSpec, outcome: CampaignOutcome,
+               occurrence_cap: int = 20) -> dict:
+    """Fold a chaos campaign: failures deduped by run fingerprint.
+
+    Partial campaigns fold too — coverage accounting says what is
+    missing — but only cells that actually ran contribute, so a
+    failure can never be silently *invented*; one can only be missed,
+    and the accounting says exactly how many cells were not judged.
+    """
+    params = spec.params
+    failures: dict = {}
+    judged = 0
+    for cell in outcome.outcomes:
+        if cell.status != "done":
+            continue
+        judged += 1
+        result = cell.result
+        if result["ok"]:
+            continue
+        entry = failures.setdefault(result["fingerprint"], {
+            "fingerprint": result["fingerprint"],
+            "failed_oracles": list(result["failed_oracles"]),
+            "first_index": cell.index,
+            "occurrences": 0,
+            "indices": []})
+        entry["occurrences"] += 1
+        if len(entry["indices"]) < occurrence_cap:
+            entry["indices"].append(cell.index)
+    distinct = [failures[f] for f in sorted(
+        failures, key=lambda f: failures[f]["first_index"])]
+    return {"verb": "chaos-campaign", "budget": spec.cells,
+            "seed": params["seed"], "transport": params["transport"],
+            "heuristic": params["server_heuristic"],
+            "nfsheur": params["nfsheur"],
+            "clients": params["num_clients"],
+            "horizon": params["horizon"],
+            "max_events": params["max_events"],
+            "recovery": params["mount_verifier_recovery"],
+            "runs": judged,
+            "failing_cells": sum(f["occurrences"] for f in distinct),
+            "distinct_failures": distinct,
+            "ok": not distinct}
+
+
+def shrink_and_bundle(spec: CampaignSpec, record: dict,
+                      bundle_dir: str, shrink_runs: int = 48,
+                      progress=None) -> None:
+    """Shrink + bundle one representative per distinct fingerprint.
+
+    Mutates ``record``'s failure entries in place with the shrink and
+    bundle details (this part is post-fold reporting, not the fold).
+    """
+    from ..chaos import (ChaosWorkload, ScheduleFuzzer, run_chaos,
+                         shrink, write_bundle)
+    from ..host.testbed import TestbedConfig
+    params = spec.params
+    workload = ChaosWorkload.from_jsonable(params["workload"]) \
+        if "workload" in params else ChaosWorkload()
+    fuzzer = ScheduleFuzzer(params["seed"], horizon=params["horizon"],
+                            max_events=params["max_events"])
+    base = TestbedConfig(
+        transport=params["transport"],
+        server_heuristic=params["server_heuristic"],
+        nfsheur=params["nfsheur"], num_clients=params["num_clients"],
+        mount_verifier_recovery=params["mount_verifier_recovery"],
+        seed=params["seed"])
+    os.makedirs(bundle_dir, exist_ok=True)
+    for entry in record["distinct_failures"]:
+        index = entry["first_index"]
+        target = entry["failed_oracles"][0]
+        config = base.with_seed(base.seed + 1000 * index)
+        shrunk = shrink(config, fuzzer.schedule(index), target,
+                        workload=workload, max_runs=shrink_runs)
+        final = run_chaos(config, shrunk.schedule, workload)
+        path = os.path.join(bundle_dir, f"chaos-{index}.json")
+        write_bundle(path, config, workload, shrunk.schedule, final)
+        entry["shrunk_events"] = [e.to_jsonable()
+                                  for e in shrunk.schedule.events]
+        entry["shrink_runs"] = shrunk.runs
+        entry["bundle"] = path
+        if progress is not None:
+            progress({"event": "bundle", "cell": index, "bundle": path,
+                      "events": len(shrunk.schedule.events)})
+
+
+def run_chaos_campaign(spec: CampaignSpec, journal_path: str,
+                       options: Optional[CampaignOptions] = None,
+                       resume: bool = False, progress=None,
+                       bundle_dir: Optional[str] = None,
+                       shrink_runs: int = 48
+                       ) -> Tuple[dict, CampaignOutcome]:
+    outcome = run_spec_campaign(spec, journal_path, options=options,
+                                resume=resume, progress=progress)
+    record = fold_chaos(spec, outcome)
+    if bundle_dir is not None and record["distinct_failures"] \
+            and outcome.complete:
+        shrink_and_bundle(spec, record, bundle_dir,
+                          shrink_runs=shrink_runs, progress=progress)
+    return record, outcome

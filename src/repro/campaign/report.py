@@ -1,0 +1,139 @@
+"""Per-campaign report directory: fold.json, cells.csv, coverage.json,
+and a dependency-free report.html.
+
+The directory separates what must be reproducible from what must be
+honest:
+
+* ``fold.json`` and ``cells.csv`` contain only the deterministic fold —
+  per-cell results in index order — and are **byte-identical** between
+  an uninterrupted campaign and any interrupted-and-resumed execution
+  of the same spec;
+* ``coverage.json`` carries the execution story (attempts, retries,
+  timeouts, crashes, abandonment) that legitimately differs run to run;
+* ``report.html`` renders both, with the coverage accounting on top so
+  a partial campaign can never masquerade as a complete one.
+
+Every file is written via write-tmp-then-rename, so a report directory
+never holds a half-written artifact.
+"""
+
+from __future__ import annotations
+
+import html
+import io
+import json
+import os
+from typing import List, Optional
+
+from .journal import atomic_write_text
+from .orchestrator import CampaignOutcome, CellOutcome
+
+
+def fold_json(outcome: CampaignOutcome) -> str:
+    """The deterministic fold as canonical JSON text."""
+    return json.dumps({"cells": [o.result for o in outcome.outcomes]},
+                      sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _result_columns(outcomes: List[CellOutcome]) -> List[str]:
+    columns: List[str] = []
+    for outcome in outcomes:
+        for key in (outcome.result or {}):
+            if key not in columns:
+                columns.append(key)
+    return sorted(columns)
+
+
+def cells_csv(outcome: CampaignOutcome) -> str:
+    """Per-cell results as CSV — deterministic, like the fold."""
+    import csv
+    columns = _result_columns(outcome.outcomes)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["cell", "status"] + columns)
+    for cell in outcome.outcomes:
+        row = [cell.index, cell.status]
+        result = cell.result or {}
+        for column in columns:
+            value = result.get(column, "")
+            if isinstance(value, (list, tuple)):
+                value = ";".join(str(item) for item in value)
+            row.append(value)
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def report_html(outcome: CampaignOutcome, title: str,
+                max_rows: int = 200) -> str:
+    """A single-file HTML report (no external assets)."""
+    coverage = outcome.coverage
+    rows = []
+    shown = 0
+    for cell in outcome.outcomes:
+        interesting = cell.status != "done" or cell.attempts > 1 \
+            or (cell.result or {}).get("ok") is False
+        if shown >= max_rows and not interesting:
+            continue
+        shown += 1
+        detail = cell.reason or ""
+        result = json.dumps(cell.result, sort_keys=True) \
+            if cell.result is not None else ""
+        rows.append(
+            f"<tr class='{cell.status}'><td>{cell.index}</td>"
+            f"<td>{cell.status}</td><td>{cell.attempts}</td>"
+            f"<td><code>{html.escape(result)}</code></td>"
+            f"<td>{html.escape(detail)}</td></tr>")
+    omitted = len(outcome.outcomes) - shown
+    omitted_note = (f"<p>({omitted} unremarkable done cells omitted "
+                    f"from the table; cells.csv has every row.)</p>"
+                    if omitted else "")
+    coverage_cells = "".join(
+        f"<tr><td>{html.escape(key)}</td><td>{coverage[key]}</td></tr>"
+        for key in sorted(coverage))
+    status = ("complete" if outcome.complete
+              else "PARTIAL — resumable")
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{html.escape(title)}</title>
+<style>
+body {{ font-family: sans-serif; margin: 2em; }}
+table {{ border-collapse: collapse; margin: 1em 0; }}
+td, th {{ border: 1px solid #999; padding: 0.3em 0.7em;
+          text-align: left; }}
+tr.abandoned td, tr.pending td {{ background: #fdd; }}
+code {{ font-size: 0.85em; }}
+</style></head><body>
+<h1>{html.escape(title)}</h1>
+<p>Campaign status: <strong>{status}</strong>; wall
+{outcome.elapsed:.1f}s this session.</p>
+<h2>Coverage accounting</h2>
+<table><tr><th>bucket</th><th>count</th></tr>{coverage_cells}</table>
+<h2>Cells</h2>
+{omitted_note}
+<table><tr><th>cell</th><th>status</th><th>attempts</th>
+<th>result</th><th>detail</th></tr>
+{"".join(rows)}
+</table>
+</body></html>
+"""
+
+
+def write_report(directory: str, outcome: CampaignOutcome,
+                 title: str, extra: Optional[dict] = None) -> dict:
+    """Write the report directory; returns the paths written."""
+    os.makedirs(directory, exist_ok=True)
+    paths = {
+        "fold": os.path.join(directory, "fold.json"),
+        "cells": os.path.join(directory, "cells.csv"),
+        "coverage": os.path.join(directory, "coverage.json"),
+        "html": os.path.join(directory, "report.html"),
+    }
+    atomic_write_text(paths["fold"], fold_json(outcome))
+    atomic_write_text(paths["cells"], cells_csv(outcome))
+    coverage = dict(outcome.coverage)
+    if extra:
+        coverage.update(extra)
+    atomic_write_text(
+        paths["coverage"],
+        json.dumps(coverage, sort_keys=True, indent=2) + "\n")
+    atomic_write_text(paths["html"], report_html(outcome, title))
+    return paths

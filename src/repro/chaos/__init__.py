@@ -8,8 +8,9 @@ simulated NFS stack stay *correct* under crashes, stalls, partitions,
 and loss bursts?  See DESIGN.md §10 for the architecture.
 """
 
-from .bundle import (ReplayOutcome, bundle_dict, config_from_bundle,
-                     read_bundle, replay_bundle, write_bundle)
+from .bundle import (BundleError, ReplayOutcome, bundle_dict,
+                     config_from_bundle, read_bundle, replay_bundle,
+                     write_bundle)
 from .engine import (CampaignRun, ChaosResult, LIVENESS_GRACE,
                      run_campaign, run_chaos)
 from .oracles import (ORACLE_NAMES, OracleInputs, OracleResult,
@@ -21,7 +22,8 @@ from .workload import (ChaosJournal, ChaosWorkload, chaos_verifier,
                        chaos_worker)
 
 __all__ = [
-    "CampaignRun", "ChaosJournal", "ChaosResult", "ChaosSchedule",
+    "BundleError", "CampaignRun", "ChaosJournal", "ChaosResult",
+    "ChaosSchedule",
     "ChaosWorkload", "FAULT_KINDS", "FaultEvent", "LIVENESS_GRACE",
     "ORACLE_NAMES", "OracleInputs", "OracleResult", "ReplayOutcome",
     "ScheduleFuzzer", "ShrinkResult", "bundle_dict",

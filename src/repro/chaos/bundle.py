@@ -25,6 +25,12 @@ from .workload import ChaosWorkload
 BUNDLE_VERSION = 1
 BUNDLE_KIND = "chaos-bundle"
 
+
+class BundleError(ValueError):
+    """A bundle file that cannot be used: missing, truncated, corrupt,
+    or from an incompatible version.  Carries a one-line, path-prefixed
+    diagnostic so the CLI can report it without a traceback."""
+
 #: The TestbedConfig fields a chaos run's outcome depends on.  Fields
 #: not listed here keep their defaults on replay — if a new knob starts
 #: influencing chaos runs, it must be added (and the version bumped).
@@ -63,20 +69,47 @@ def write_bundle(path: str, config: TestbedConfig,
     return data
 
 
+#: Top-level keys a usable bundle must carry; a truncated-but-parseable
+#: or hand-edited file missing one is rejected with a one-liner instead
+#: of a KeyError traceback deep inside the replay.
+_REQUIRED_KEYS = ("config", "workload", "schedule", "failed_oracles",
+                  "fingerprint")
+
+
 def read_bundle(path: str) -> dict:
-    with open(path) as handle:
-        data = json.load(handle)
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise BundleError(
+            f"{path}: cannot read bundle ({error.strerror or error})"
+        ) from None
+    except json.JSONDecodeError as error:
+        raise BundleError(
+            f"{path}: not valid JSON (truncated or corrupt bundle): "
+            f"{error}") from None
+    if not isinstance(data, dict):
+        raise BundleError(f"{path}: not a chaos bundle (expected a "
+                          f"JSON object)")
     if data.get("kind") != BUNDLE_KIND:
-        raise ValueError(f"{path}: not a chaos bundle")
+        raise BundleError(f"{path}: not a chaos bundle")
     if data.get("version") != BUNDLE_VERSION:
-        raise ValueError(f"{path}: unsupported bundle version "
-                         f"{data.get('version')!r}")
+        raise BundleError(f"{path}: unsupported bundle version "
+                          f"{data.get('version')!r}")
+    missing = [key for key in _REQUIRED_KEYS if key not in data]
+    if missing:
+        raise BundleError(f"{path}: bundle is missing required "
+                          f"field(s): {', '.join(missing)}")
     return data
 
 
 def config_from_bundle(data: dict) -> TestbedConfig:
     config_part = dict(data["config"])
-    return TestbedConfig(**config_part)
+    try:
+        return TestbedConfig(**config_part)
+    except (TypeError, ValueError) as error:
+        raise BundleError(f"bundle config is not usable: {error}") \
+            from None
 
 
 @dataclass
@@ -106,8 +139,12 @@ def replay_bundle(source: Union[str, dict]) -> ReplayOutcome:
     """Re-execute a bundle (path or parsed dict) deterministically."""
     data = read_bundle(source) if isinstance(source, str) else source
     config = config_from_bundle(data)
-    workload = ChaosWorkload.from_jsonable(data["workload"])
-    schedule = ChaosSchedule.from_jsonable(data["schedule"])
+    try:
+        workload = ChaosWorkload.from_jsonable(data["workload"])
+        schedule = ChaosSchedule.from_jsonable(data["schedule"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise BundleError(f"bundle workload/schedule is not usable: "
+                          f"{error}") from None
     result = run_chaos(config, schedule, workload)
     return ReplayOutcome(
         result=result,

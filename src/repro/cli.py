@@ -16,18 +16,26 @@ Examples::
     python -m repro fig2 --trace t.json --metrics-out m.json
     python -m repro diagnose --trace t.json --metrics m.json
 
-Four extra verbs ride next to the figure ids: ``bench`` (one
+Five extra verbs ride next to the figure ids: ``bench`` (one
 benchmark point, optionally parallel and machine-readable), ``replay``
 (capture a run's vnode-boundary trace and/or replay a trace file
 against an arbitrary testbed; see :mod:`repro.replay`), ``diagnose``
 (critical-path attribution, benchmark-trap detection, and the
 perf-regression gate over previously recorded artifacts; see
-:mod:`repro.diagnose`), and ``chaos`` (fault-schedule fuzzing judged
+:mod:`repro.diagnose`), ``chaos`` (fault-schedule fuzzing judged
 by correctness oracles, with shrinking repro bundles; see
-:mod:`repro.chaos`)::
+:mod:`repro.chaos`), and ``campaign`` (fleet-scale sharded bench /
+chaos campaigns with a checkpointed journal, worker-failure recovery,
+``--resume``, and a CSV/HTML report directory; see
+:mod:`repro.campaign`)::
 
     python -m repro chaos fuzz --budget 30 --seed 0 --json
+    python -m repro chaos fuzz --budget 10000 --jobs 8 --json
     python -m repro chaos replay bundles/chaos-17.json
+    python -m repro campaign chaos --budget 100000 --jobs 8 \\
+        --journal campaigns/overnight/journal.jsonl --report reports/o1
+    python -m repro campaign chaos --budget 100000 --jobs 8 \\
+        --journal campaigns/overnight/journal.jsonl --resume
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ from __future__ import annotations
 import argparse
 import functools
 import json
+import os
 import sys
 import time
 from typing import List, Optional
@@ -395,6 +404,233 @@ def _main_diagnose(argv: List[str]) -> int:
     return 0
 
 
+def _add_orchestrator_flags(parser: argparse.ArgumentParser,
+                            jobs_default: int = 1) -> None:
+    """The sharding/robustness knobs shared by `campaign` and
+    `chaos fuzz --jobs`."""
+    parser.add_argument("--jobs", type=int, default=jobs_default,
+                        help="worker processes to shard cells across")
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="campaign journal (JSONL); every completed "
+                             "cell is committed here before anything "
+                             "else happens, making the campaign "
+                             "resumable (default: an ephemeral "
+                             "temporary journal)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted campaign from "
+                             "--journal: cells already journalled are "
+                             "not re-run, and the final fold is "
+                             "byte-identical to an uninterrupted run")
+    parser.add_argument("--report", metavar="DIR", default=None,
+                        help="write a per-campaign report directory "
+                             "(fold.json, cells.csv, coverage.json, "
+                             "report.html)")
+    parser.add_argument("--cell-timeout", type=float, default=300.0,
+                        help="wall-clock seconds per cell before its "
+                             "worker is killed and the cell retried "
+                             "(default: 300)")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="attempts per cell before it is abandoned "
+                             "(default: 3)")
+    parser.add_argument("--wall-budget", type=float, default=None,
+                        help="stop dispatching after this many seconds "
+                             "and emit a partial, resumable result")
+
+
+def _campaign_options(args):
+    from .campaign import CampaignOptions
+    return CampaignOptions(workers=max(1, args.jobs),
+                           cell_timeout=args.cell_timeout,
+                           max_attempts=args.max_attempts,
+                           wall_budget=args.wall_budget)
+
+
+def _campaign_progress(total: int, quiet: bool):
+    """Progress reporter: failures and health events go to stderr."""
+    step = max(1, total // 20)
+
+    def progress(event: dict) -> None:
+        if quiet:
+            return
+        kind = event["event"]
+        if kind == "result":
+            done = event["done"]
+            result = event.get("result") or {}
+            if result.get("ok") is False:
+                print(f"  cell {event['cell']}: FAILED "
+                      f"{', '.join(result['failed_oracles'])} "
+                      f"(fingerprint "
+                      f"{result['fingerprint'][:12]}...)",
+                      file=sys.stderr)
+            if done % step == 0 or done == total:
+                print(f"  {done}/{total} cells done", file=sys.stderr)
+        elif kind in ("crash", "timeout", "error"):
+            print(f"  cell {event['cell']}: attempt "
+                  f"{event['attempt']} {kind} "
+                  f"({event['detail']})", file=sys.stderr)
+        elif kind == "abandoned":
+            print(f"  cell {event['cell']}: ABANDONED "
+                  f"({event['reason']})", file=sys.stderr)
+        elif kind == "straggler":
+            print(f"  cell {event['cell']}: straggling "
+                  f"({event['elapsed']:.1f}s vs median "
+                  f"{event['median']:.1f}s)", file=sys.stderr)
+        elif kind == "wall_budget":
+            print(f"  wall budget exhausted after "
+                  f"{event['elapsed']:.1f}s; emitting partial result",
+                  file=sys.stderr)
+        elif kind == "bundle":
+            print(f"  cell {event['cell']}: shrunk to "
+                  f"{event['events']} event(s) -> {event['bundle']}",
+                  file=sys.stderr)
+
+    return progress
+
+
+def _build_campaign_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nfstricks campaign",
+        description="Fleet-scale sharded campaigns with a checkpointed "
+                    "journal, worker-failure recovery, and --resume. "
+                    "Exit 0: complete and healthy; 1: complete with "
+                    "chaos failures; 3: campaign error; 4: partial "
+                    "(resumable with --resume).")
+    sub = parser.add_subparsers(dest="kind", required=True)
+    bench = sub.add_parser(
+        "bench", help="shard seeded benchmark repeats; the fold is "
+                      "byte-identical to a serial `bench` run")
+    _add_testbed_flags(bench)
+    bench.add_argument("--readers", type=int, default=4)
+    bench.add_argument("--runs", type=int, default=10,
+                       help="repeats = cells (default: 10)")
+    bench.add_argument("--scale", type=float, default=0.125)
+    bench.add_argument("--history", metavar="PATH", nargs="?",
+                       const=True, default=None,
+                       help="stream the folded record into the bench "
+                            "history store")
+    _add_orchestrator_flags(bench, jobs_default=2)
+    bench.add_argument("--json", action="store_true")
+    chaos = sub.add_parser(
+        "chaos", help="shard fuzzed fault schedules; failures are "
+                      "deduped by run fingerprint and shrunk once per "
+                      "distinct failure")
+    chaos.add_argument("--budget", type=int, default=1000,
+                       help="schedules = cells (default: 1000)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--transport", choices=["udp", "tcp"],
+                       default="udp")
+    chaos.add_argument("--heuristic", default="default")
+    chaos.add_argument("--nfsheur", choices=["default", "improved"],
+                       default="default")
+    chaos.add_argument("--clients", type=int, default=2)
+    chaos.add_argument("--horizon", type=float, default=20.0)
+    chaos.add_argument("--max-events", type=int, default=4)
+    chaos.add_argument("--no-recovery", action="store_true")
+    chaos.add_argument("--shrink-runs", type=int, default=48)
+    chaos.add_argument("--bundle-dir", metavar="DIR", default=None,
+                       help="shrink + bundle one repro per distinct "
+                            "failure fingerprint into DIR")
+    _add_orchestrator_flags(chaos, jobs_default=2)
+    chaos.add_argument("--json", action="store_true")
+    return parser
+
+
+def _main_campaign(argv: List[str]) -> int:
+    import tempfile
+    from .campaign import (CampaignIncomplete, JournalError, bench_spec,
+                           chaos_spec, run_bench_campaign,
+                           run_chaos_campaign, write_report)
+    from .diagnose import DEFAULT_HISTORY_PATH
+    args = _build_campaign_parser().parse_args(argv)
+    if args.kind == "bench":
+        spec = bench_spec(args.runs, drive=args.drive,
+                          partition=args.partition,
+                          transport=args.transport,
+                          heuristic=args.heuristic,
+                          nfsheur=args.nfsheur, readers=args.readers,
+                          scale=args.scale, seed=args.seed)
+        title = (f"bench campaign: {args.runs} repeats of "
+                 f"{args.transport}/{args.heuristic}/{args.nfsheur} "
+                 f"{args.drive}{args.partition}")
+    else:
+        spec = chaos_spec(args.budget, transport=args.transport,
+                          heuristic=args.heuristic,
+                          nfsheur=args.nfsheur, clients=args.clients,
+                          horizon=args.horizon,
+                          max_events=args.max_events,
+                          recovery=not args.no_recovery,
+                          seed=args.seed)
+        title = (f"chaos campaign: {args.budget} schedules on "
+                 f"{args.transport}/{args.heuristic}")
+    options = _campaign_options(args)
+    progress = _campaign_progress(spec.cells, quiet=args.json)
+    tmp_dir = None
+    journal = args.journal
+    if journal is None:
+        tmp_dir = tempfile.TemporaryDirectory(prefix="campaign-")
+        journal = os.path.join(tmp_dir.name, "journal.jsonl")
+    try:
+        if args.kind == "bench":
+            history = None
+            if args.history is not None:
+                history = (DEFAULT_HISTORY_PATH if args.history is True
+                           else args.history)
+            record, outcome = run_bench_campaign(
+                spec, journal, options=options, resume=args.resume,
+                progress=progress, history=history)
+        else:
+            record, outcome = run_chaos_campaign(
+                spec, journal, options=options, resume=args.resume,
+                progress=progress, bundle_dir=args.bundle_dir,
+                shrink_runs=args.shrink_runs)
+    except JournalError as error:
+        print(f"campaign: {error}", file=sys.stderr)
+        return 3
+    except CampaignIncomplete as error:
+        outcome = error.outcome
+        if args.report is not None:
+            write_report(args.report, outcome, title)
+        print(f"campaign: {error}", file=sys.stderr)
+        if args.journal is not None:
+            print(f"campaign: journal kept at {args.journal}; "
+                  f"re-run with --resume to continue", file=sys.stderr)
+        return 4
+    finally:
+        if tmp_dir is not None:
+            tmp_dir.cleanup()
+    payload = {"record": record, "coverage": outcome.coverage}
+    if args.report is not None:
+        paths = write_report(args.report, outcome, title,
+                             extra={"verb": f"campaign-{args.kind}"})
+        payload["report"] = paths["html"]
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        coverage = outcome.coverage
+        print(f"{title}: {coverage['done']}/{coverage['cells']} cells "
+              f"done ({coverage['retried']} retried, "
+              f"{coverage['timed_out']} timed out, "
+              f"{coverage['abandoned']} abandoned, "
+              f"{coverage['worker_crashes']} worker crashes)")
+        if args.kind == "bench":
+            print(f"  {record['mean_mb_s']:.2f} +/- "
+                  f"{record['std_mb_s']:.2f} MB/s over "
+                  f"{record['runs']} runs")
+        else:
+            verdict = ("all oracles green" if record["ok"] else
+                       f"{len(record['distinct_failures'])} distinct "
+                       f"failure(s) over "
+                       f"{record['failing_cells']} cell(s)")
+            print(f"  {verdict}")
+        if args.report is not None:
+            print(f"  report: {payload['report']}")
+    if not outcome.complete:
+        return 4
+    if args.kind == "chaos" and not record["ok"]:
+        return 1
+    return 0
+
+
 def _build_chaos_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="nfstricks chaos",
@@ -403,7 +639,9 @@ def _build_chaos_parser() -> argparse.ArgumentParser:
                     "any failure to a minimal schedule, and replay "
                     "repro bundles deterministically.  'fuzz' exits 1 "
                     "if any oracle failed; 'replay' exits 1 if the "
-                    "bundle's failure did not reproduce bit-identically.")
+                    "bundle's failure did not reproduce bit-identically "
+                    "and 3 if the bundle file is missing, truncated, "
+                    "or corrupt.")
     sub = parser.add_subparsers(dest="mode", required=True)
     fuzz = sub.add_parser(
         "fuzz", help="run a fixed-seed campaign of fuzzed schedules")
@@ -435,6 +673,7 @@ def _build_chaos_parser() -> argparse.ArgumentParser:
                            "into DIR")
     fuzz.add_argument("--json", action="store_true",
                       help="print a machine-readable campaign record")
+    _add_orchestrator_flags(fuzz)
     replay = sub.add_parser(
         "replay", help="re-execute a repro bundle deterministically")
     replay.add_argument("bundle", help="path to a chaos bundle JSON")
@@ -444,15 +683,21 @@ def _build_chaos_parser() -> argparse.ArgumentParser:
 
 
 def _main_chaos(argv: List[str]) -> int:
-    import os
-    from .chaos import (ChaosWorkload, ScheduleFuzzer, replay_bundle,
-                        run_campaign, shrink, write_bundle)
+    from .chaos import (BundleError, ChaosWorkload, ScheduleFuzzer,
+                        replay_bundle, run_campaign, shrink,
+                        write_bundle)
     from .host.testbed import TestbedConfig
     args = _build_chaos_parser().parse_args(argv)
 
     if args.mode == "replay":
         try:
             outcome = replay_bundle(args.bundle)
+        except BundleError as error:
+            # A bad bundle file is its own failure class: one line, no
+            # traceback, and an exit code distinct from both "did not
+            # reproduce" (1) and a usage error (2).
+            print(f"chaos replay: {error}", file=sys.stderr)
+            return 3
         except (OSError, ValueError, KeyError) as error:
             print(f"chaos replay: {error}", file=sys.stderr)
             return 2
@@ -466,6 +711,9 @@ def _main_chaos(argv: List[str]) -> int:
                   f"{', '.join(outcome.result.failed_oracles) or 'none'}"
                   f"; fingerprint {outcome.result.fingerprint[:16]}...)")
         return 0 if outcome.reproduced else 1
+
+    if args.jobs > 1 or args.journal is not None:
+        return _main_chaos_sharded(args)
 
     config = TestbedConfig(
         transport=args.transport, server_heuristic=args.heuristic,
@@ -536,6 +784,66 @@ def _main_chaos(argv: List[str]) -> int:
     return 1 if failures else 0
 
 
+def _main_chaos_sharded(args) -> int:
+    """`chaos fuzz --jobs/--journal`: the campaign-orchestrated path.
+
+    Raises fuzzing from hundreds of schedules to 100k-class campaigns:
+    cells are sharded across workers, every verdict is journalled, and
+    failures are deduped by run fingerprint before shrinking — a long
+    campaign rediscovers the same bug many times, but each distinct
+    failure is shrunk and bundled exactly once.
+    """
+    import tempfile
+    from .campaign import (CampaignIncomplete, JournalError, chaos_spec,
+                           run_chaos_campaign)
+    spec = chaos_spec(args.budget, transport=args.transport,
+                      heuristic=args.heuristic, nfsheur=args.nfsheur,
+                      clients=args.clients, horizon=args.horizon,
+                      max_events=args.max_events,
+                      recovery=not args.no_recovery, seed=args.seed)
+    options = _campaign_options(args)
+    progress = _campaign_progress(spec.cells, quiet=args.json)
+    tmp_dir = None
+    journal = args.journal
+    if journal is None:
+        tmp_dir = tempfile.TemporaryDirectory(prefix="chaos-fuzz-")
+        journal = os.path.join(tmp_dir.name, "journal.jsonl")
+    try:
+        record, outcome = run_chaos_campaign(
+            spec, journal, options=options, resume=args.resume,
+            progress=progress, bundle_dir=args.bundle_dir,
+            shrink_runs=args.shrink_runs)
+    except (JournalError, CampaignIncomplete) as error:
+        print(f"chaos fuzz: {error}", file=sys.stderr)
+        return 3 if isinstance(error, JournalError) else 4
+    finally:
+        if tmp_dir is not None:
+            tmp_dir.cleanup()
+    if args.report is not None:
+        from .campaign import write_report
+        write_report(args.report, outcome,
+                     f"chaos fuzz: {args.budget} schedules on "
+                     f"{args.transport}/{args.heuristic}")
+    payload = {"record": record, "coverage": outcome.coverage}
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        coverage = outcome.coverage
+        verdict = ("all oracles green" if record["ok"] else
+                   f"{len(record['distinct_failures'])} distinct "
+                   f"failure(s) over {record['failing_cells']} "
+                   f"cell(s)")
+        print(f"chaos fuzz: {record['runs']} schedules on "
+              f"{args.transport}/{args.heuristic} "
+              f"({coverage['done']}/{coverage['cells']} cells, "
+              f"{coverage['retried']} retried, "
+              f"{coverage['worker_crashes']} worker crashes): "
+              f"{verdict}")
+    if not outcome.complete:
+        return 4
+    return 1 if not record["ok"] else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -547,6 +855,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _main_diagnose(argv[1:])
     if argv and argv[0] == "chaos":
         return _main_chaos(argv[1:])
+    if argv and argv[0] == "campaign":
+        return _main_campaign(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         _list_experiments()

@@ -54,13 +54,28 @@ def relative_spread(record: dict) -> float:
 
 
 def append_history(path: str, record: dict) -> None:
-    """Fold one bench record into the history store (append-only)."""
+    """Fold one bench record into the history store (append-only).
+
+    The append is atomic — the existing store plus the new line is
+    written to a temporary file and renamed over the old one — so an
+    interrupted ``bench --out/--history`` run (or a worker kill mid-
+    campaign) can never leave the store with a torn trailing record
+    that poisons every later ``diagnose --against``.
+    """
+    from ..campaign.journal import atomic_write_text
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    with open(path, "a") as handle:
-        handle.write(json.dumps(record, sort_keys=True,
-                                separators=(",", ":")) + "\n")
+    try:
+        with open(path) as handle:
+            existing = handle.read()
+    except OSError:
+        existing = ""
+    if existing and not existing.endswith("\n"):
+        existing += "\n"
+    line = json.dumps(record, sort_keys=True,
+                      separators=(",", ":")) + "\n"
+    atomic_write_text(path, existing + line)
 
 
 def load_history(path: str) -> List[dict]:

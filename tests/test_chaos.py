@@ -269,8 +269,39 @@ class TestChaosCli:
         replay = json.loads(capsys.readouterr().out)
         assert replay["reproduced"]
 
-    def test_replay_missing_bundle_exits_two(self, tmp_path, capsys):
+    def test_replay_missing_bundle_exits_three(self, tmp_path, capsys):
         from repro.cli import main
         code = main(["chaos", "replay", str(tmp_path / "nope.json")])
-        capsys.readouterr()
-        assert code == 2
+        err = capsys.readouterr().err
+        assert code == 3
+        assert "cannot read bundle" in err
+        assert "Traceback" not in err
+
+    def test_replay_truncated_bundle_exits_three(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "torn.json"
+        path.write_text('{"kind": "chaos-bundle", "version": 1, "conf')
+        code = main(["chaos", "replay", str(path)])
+        err = capsys.readouterr().err
+        assert code == 3
+        assert "truncated or corrupt" in err
+
+    def test_replay_incomplete_bundle_exits_three(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"kind": "chaos-bundle",
+                                    "version": 1, "config": {}}))
+        code = main(["chaos", "replay", str(path)])
+        err = capsys.readouterr().err
+        assert code == 3
+        assert "missing required field" in err
+
+    def test_replay_wrong_version_exits_three(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"kind": "chaos-bundle",
+                                    "version": 99}))
+        code = main(["chaos", "replay", str(path)])
+        err = capsys.readouterr().err
+        assert code == 3
+        assert "unsupported bundle version" in err
