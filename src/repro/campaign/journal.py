@@ -14,10 +14,14 @@ leaves a journal that loads cleanly:
 
 On load, a torn final journal line (the append in step 2 interrupted)
 is repaired from the WAL when one exists, or dropped when it does not
-— in which case the cell simply re-runs on resume.  Corruption
-anywhere *before* the final line is a hard error: that is not a crash
-signature, it is a damaged file, and silently skipping records would
-un-checkpoint work.
+— in which case the cell simply re-runs on resume.  Either way the
+file itself is healed, not just the in-memory view: the torn bytes are
+truncated away and a WAL-repaired record is re-appended (fsynced)
+*before* the WAL is removed, so a resume session's appends always
+start on a fresh line and the repaired record survives a second crash.
+Corruption anywhere *before* the final line is a hard error: that is
+not a crash signature, it is a damaged file, and silently skipping
+records would un-checkpoint work.
 
 The journal's first record is a header naming the campaign spec and its
 fingerprint; ``--resume`` refuses a journal whose header does not match
@@ -116,14 +120,21 @@ class CampaignJournal:
 
     @staticmethod
     def load(path: str) -> LoadedJournal:
-        """Read a journal back, repairing or dropping a torn final line."""
+        """Read a journal back, repairing or dropping a torn final line.
+
+        Recovery edits the file, not just the returned records: torn
+        trailing bytes are truncated so later appends start on a fresh
+        line, and a record recovered from the WAL is re-appended to the
+        journal (fsynced) before the WAL is removed — the journal, not
+        the WAL, is where committed records must durably live.
+        """
         try:
-            with open(path) as handle:
+            with open(path, "rb") as handle:
                 raw = handle.read()
         except OSError as error:
             raise JournalError(f"cannot read journal: {error}") from None
-        lines = raw.split("\n")
-        if lines and lines[-1] == "":
+        lines = raw.split(b"\n")
+        if lines and lines[-1] == b"":
             lines.pop()
             tail_complete = True
         else:
@@ -131,6 +142,8 @@ class CampaignJournal:
 
         records: List[dict] = []
         dropped = 0
+        #: Bytes of the journal prefix holding only complete records.
+        intact = 0
         for number, line in enumerate(lines, 1):
             last = number == len(lines)
             try:
@@ -150,6 +163,15 @@ class CampaignJournal:
                 dropped = 1
                 break
             records.append(record)
+            intact += len(line) + 1
+
+        if dropped:
+            # Heal the file: leave only complete lines, so a resume
+            # session's appends never concatenate onto the torn tail.
+            with open(path, "r+b") as handle:
+                handle.truncate(intact)
+                handle.flush()
+                os.fsync(handle.fileno())
 
         repaired = 0
         wal = path + ".wal"
@@ -163,6 +185,12 @@ class CampaignJournal:
                 if records and records[-1] == wal_record:
                     pass  # append completed before the crash
                 else:
+                    # Re-append durably *before* destroying the WAL —
+                    # it holds the only copy of this committed record.
+                    with open(path, "a") as handle:
+                        handle.write(_dump_line(wal_record))
+                        handle.flush()
+                        os.fsync(handle.fileno())
                     records.append(wal_record)
                     repaired, dropped = 1, 0
             os.remove(wal)

@@ -226,6 +226,11 @@ class Orchestrator:
         idle = [w for w in self._workers.values() if w.idle]
         if not idle:
             return
+        # A late "ok" from a killed worker may have resolved a cell
+        # whose retry is still queued; dispatching it would re-run
+        # already-committed work.
+        self._pending = [entry for entry in self._pending
+                         if entry[1] not in self.results]
         self._pending.sort()
         for worker in idle:
             picked = None
@@ -282,6 +287,10 @@ class Orchestrator:
         self.journal.append({"type": "result", "cell": cell,
                              "attempt": attempt, "result": result})
         self.abandoned.pop(cell, None)
+        # Drop any queued retry of this cell (e.g. its worker was
+        # timeout-killed but the result arrived anyway).
+        self._pending = [entry for entry in self._pending
+                         if entry[1] != cell]
         if worker is not None:
             self._durations.append(now - worker.started)
         self.progress({"event": "result", "cell": cell,
@@ -436,10 +445,12 @@ def run_sharded(runner: Callable[[int], dict], cells: int,
 
     ``header`` must carry a ``fingerprint`` identifying the campaign;
     ``resume=True`` loads the journal, verifies the fingerprint, and
-    re-runs only cells without a committed result.  A fresh run refuses
-    to overwrite an existing journal unless it belongs to the same
-    campaign (in which case it resumes — re-running a finished campaign
-    is a no-op, which is what makes the CLI idempotent).
+    re-runs only cells without a committed result.  Without
+    ``resume=True`` an existing journal is always refused — even one
+    for the same campaign — so a stale ``--journal`` path can never be
+    silently continued; the caller must say ``--resume`` explicitly.
+    Resuming a finished campaign is a no-op that re-emits its result,
+    which is what makes ``--resume`` idempotent.
     """
     import os
     prior_results: Dict[int, dict] = {}

@@ -60,22 +60,31 @@ def append_history(path: str, record: dict) -> None:
     written to a temporary file and renamed over the old one — so an
     interrupted ``bench --out/--history`` run (or a worker kill mid-
     campaign) can never leave the store with a torn trailing record
-    that poisons every later ``diagnose --against``.
+    that poisons every later ``diagnose --against``.  Because that is
+    a read-modify-write (not an O_APPEND write), concurrent appenders
+    — two bench runs sharing one store — serialise on a sidecar
+    ``<path>.lock`` so neither silently drops the other's record.
     """
     from ..campaign.journal import atomic_write_text
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    try:
-        with open(path) as handle:
-            existing = handle.read()
-    except OSError:
-        existing = ""
-    if existing and not existing.endswith("\n"):
-        existing += "\n"
     line = json.dumps(record, sort_keys=True,
                       separators=(",", ":")) + "\n"
-    atomic_write_text(path, existing + line)
+    with open(path + ".lock", "w") as lock:
+        try:
+            import fcntl
+            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+        except ImportError:  # pragma: no cover - non-POSIX fallback
+            pass
+        try:
+            with open(path) as handle:
+                existing = handle.read()
+        except OSError:
+            existing = ""
+        if existing and not existing.endswith("\n"):
+            existing += "\n"
+        atomic_write_text(path, existing + line)
 
 
 def load_history(path: str) -> List[dict]:

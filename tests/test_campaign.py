@@ -58,6 +58,13 @@ def always_broken_cell(index):
     return {"value": index}
 
 
+def _history_hammer(path, writer, count):
+    """Append ``count`` records to the shared history store."""
+    from repro.diagnose import append_history
+    for n in range(count):
+        append_history(path, {"writer": writer, "n": n})
+
+
 def chaos_shaped_broken_cell(index):
     """Chaos-result shape, with cell 1 permanently erroring."""
     if index == 1:
@@ -131,6 +138,50 @@ class TestJournal:
         assert loaded.repaired == 1 and loaded.dropped == 0
         assert loaded.records == [record]
         assert not os.path.exists(path + ".wal")
+
+    def test_torn_tail_is_truncated_on_disk(self, tmp_path):
+        # The reviewer's crash scenario: load() must heal the file, not
+        # just the in-memory view, or a resume session's first append
+        # concatenates onto the torn fragment and is lost.
+        path = str(tmp_path / "j.jsonl")
+        journal = CampaignJournal(path)
+        journal.create({"fingerprint": "abc"})
+        with journal:
+            journal.append({"type": "result", "cell": 0, "attempt": 1,
+                            "result": {"v": 0}})
+        with open(path, "a") as handle:
+            handle.write('{"type": "result", "cell": 1, "att')
+        assert CampaignJournal.load(path).dropped == 1
+        # Resume session appends two more records, as append() would.
+        resumed = CampaignJournal(path)
+        with resumed:
+            resumed.append({"type": "result", "cell": 1, "attempt": 1,
+                            "result": {"v": 1}})
+            resumed.append({"type": "result", "cell": 2, "attempt": 1,
+                            "result": {"v": 2}})
+        loaded = CampaignJournal.load(path)
+        assert loaded.dropped == 0 and loaded.repaired == 0
+        assert [r["cell"] for r in loaded.records] == [0, 1, 2]
+
+    def test_wal_repair_is_durable_in_journal(self, tmp_path):
+        # A record repaired from the WAL must be re-written to the
+        # journal before the WAL is removed: a second crash right after
+        # load() must not lose the committed result.
+        path = str(tmp_path / "j.jsonl")
+        CampaignJournal(path).create({"fingerprint": "abc"})
+        record = {"type": "result", "cell": 0, "attempt": 1,
+                  "result": {"v": 1}}
+        atomic_write_text(path + ".wal",
+                          json.dumps(record, sort_keys=True) + "\n")
+        with open(path, "a") as handle:
+            handle.write('{"type": "result", "ce')
+        first = CampaignJournal.load(path)
+        assert first.repaired == 1
+        assert not os.path.exists(path + ".wal")
+        # No WAL any more — the journal alone must still carry it.
+        second = CampaignJournal.load(path)
+        assert second.records == [record]
+        assert second.repaired == 0 and second.dropped == 0
 
     def test_wal_duplicate_of_completed_append_is_ignored(self, tmp_path):
         path = str(tmp_path / "j.jsonl")
@@ -340,6 +391,35 @@ class TestOrchestrator:
         gauges = orchestrator.registry.snapshot()["gauges"]
         assert gauges["campaign.cells_done"] == 3.0
         assert gauges["campaign.cells_pending"] == 0.0
+
+    def test_late_result_purges_queued_retry(self, tmp_path):
+        # An "ok" that lands after its worker was timeout-killed must
+        # also cancel the retry queued by the timeout, or the resolved
+        # cell is pointlessly re-executed.
+        from repro.campaign.orchestrator import _Worker
+
+        class _ListQueue:
+            def __init__(self):
+                self.sent = []
+
+            def put(self, item):
+                self.sent.append(item)
+
+        journal = CampaignJournal(str(tmp_path / "j.jsonl"))
+        journal.create({"fingerprint": "late"})
+        with journal:
+            orchestrator = Orchestrator(square_cell, 3, journal,
+                                        options=_options())
+            orchestrator._pending.append([5.0, 1])  # backoff retry
+            orchestrator._record_result(1, 1, {"value": 1}, None, 0.0)
+            assert [e[1] for e in orchestrator._pending] == [0, 2]
+            # And dispatch never hands out a cell already resolved.
+            orchestrator._pending.append([0.0, 1])
+            queue = _ListQueue()
+            orchestrator._workers[99] = _Worker(99, None, queue)
+            orchestrator._dispatch_ready(10.0)
+            assert 1 not in [e[1] for e in orchestrator._pending]
+            assert [item[0] for item in queue.sent] == [0]
 
     def test_transient_error_retries_then_succeeds(self, tmp_path):
         import functools
@@ -769,3 +849,26 @@ class TestAtomicHistory:
         append_history(path, {"verb": "bench", "mean_mb_s": 2.0})
         records = load_history(path)
         assert [r["mean_mb_s"] for r in records] == [1.0, 2.0]
+
+    def test_concurrent_appenders_lose_no_records(self, tmp_path):
+        # The rename protocol is a read-modify-write; without the
+        # sidecar lock two concurrent bench runs can silently drop
+        # each other's records.
+        import multiprocessing
+        from repro.diagnose import load_history
+        path = str(tmp_path / "history.jsonl")
+        ctx = multiprocessing.get_context("fork")
+        processes = [ctx.Process(target=_history_hammer,
+                                 args=(path, writer, 10))
+                     for writer in range(4)]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        records = load_history(path)
+        assert len(records) == 40
+        for writer in range(4):
+            mine = sorted(r["n"] for r in records
+                          if r["writer"] == writer)
+            assert mine == list(range(10))
