@@ -164,6 +164,38 @@ class DiskDrive:
             now + seek, self.geometry.angle_of_lba(lba))
         return seek + rot
 
+    def positioning_times(self, requests: List[DiskRequest]) -> List[float]:
+        """Batch :meth:`positioning_time` over a queue snapshot.
+
+        Cache probes run per request *in queue order* — they mutate the
+        segment LRU state, so the probe sequence must be exactly the one
+        the scalar loop performs.  Only the mechanical math (seek curve,
+        rotation) for the cache misses is batched, through the
+        vectorized geometry/mechanics helpers.
+        """
+        now = self.sim.now
+        times = [0.0] * len(requests)
+        miss_positions: List[int] = []
+        miss_lbas: List[int] = []
+        for position, request in enumerate(requests):
+            lookup = self.cache.lookup(request.lba, request.nsectors, now)
+            if lookup.hit and (lookup.covered_sectors >= request.nsectors
+                               or lookup.continuation):
+                continue
+            miss_positions.append(position)
+            miss_lbas.append(request.lba)
+        if miss_lbas:
+            current = self.current_cylinder
+            cylinders = self.geometry.cylinders_of_lbas(miss_lbas)
+            seeks = self.seek_model.seek_times(
+                [abs(cylinder - current) for cylinder in cylinders])
+            rots = self.rotation.latencies_to(
+                [now + seek for seek in seeks],
+                self.geometry.angles_of_lbas(miss_lbas))
+            for position, seek, rot in zip(miss_positions, seeks, rots):
+                times[position] = seek + rot
+        return times
+
     # ------------------------------------------------------------------
     # Service loop
     # ------------------------------------------------------------------
@@ -177,8 +209,13 @@ class DiskDrive:
                 continue
             scheduler = (self.firmware if self.tagged_queueing
                          else self._fifo)
-            request = scheduler.select(
-                self._queue, self.sim.now, self.positioning_time)
+            if getattr(scheduler, "accepts_batch", False):
+                request = scheduler.select(
+                    self._queue, self.sim.now, self.positioning_time,
+                    positioning_times=self.positioning_times)
+            else:
+                request = scheduler.select(
+                    self._queue, self.sim.now, self.positioning_time)
             self._busy = True
             start = self.sim.now
             if self._obs_on:

@@ -1,0 +1,395 @@
+"""A calendar-queue event scheduler (Brown, CACM 1988).
+
+The queue maps each pending record to a *day* (bucket) of a circular
+calendar whose *year* is ``nbuckets * width`` simulated seconds wide.
+Enqueue hashes the timestamp to a bucket and insertion-sorts within it;
+dequeue sweeps the calendar from the current day, popping records whose
+timestamp falls inside the day under the cursor.  With the bucket count
+resized to track the population (doubling above two records per bucket,
+halving below one per two buckets) both operations are O(1) amortized —
+the property that lets million-event populations schedule at the same
+per-op cost as toy runs, where a binary heap pays O(log n) per op.
+
+Two constant-factor specializations keep the small-population regime —
+where a pure-Python calendar would otherwise lose to C ``heapq`` — fast:
+
+* A fresh queue starts with a single *unbounded* day (``width`` of
+  +inf).  Until the population first crosses the grow threshold, every
+  record lives in one sorted bucket and enqueue skips the day
+  arithmetic entirely; the first resize then tunes a real width from
+  the observed inter-event gaps (Brown's sampling rule).
+* The dequeue cursor is cached as ``(_cindex, _cbucket, _cend)`` — the
+  current day's bucket and its end boundary — so the common pop is a
+  bounds check, one comparison against ``_cend``, and a head-index
+  bump.  The generic sweep runs only on day advances, tombstones,
+  rewinds, and resizes, and re-arms the cache on its way out.
+
+Determinism contract (the invariant every kernel battery leans on):
+records dequeue in exactly ``(when, seq)`` order, where ``seq`` is the
+monotone insertion counter — byte-for-byte the order the heap-based
+:class:`~repro.sim.events.EventQueue` produces.  Bucket membership is
+*normalized* against the same float products the sweep uses for day
+boundaries, so IEEE rounding in ``when / width`` can never place a
+record where the sweep would pass it by (see :meth:`_day_of`).
+
+Records are plain ``[when, seq, payload]`` lists drawn from a free
+list: a record popped by the consumer is recycled into the next push,
+so steady-state scheduling allocates nothing per operation.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Any, List, Optional, Tuple
+
+#: Smallest calendar ever used; shrinking stops here.
+MIN_BUCKETS = 8
+#: Cap on how many head records the width heuristic examines.
+WIDTH_SAMPLE = 64
+#: The single-unbounded-day width.  Kept as a module constant so the
+#: push fast path can use an identity test (``width is INF``), which is
+#: cheaper than a float comparison.
+INF = float("inf")
+
+
+class CalendarQueue:
+    """Time-ordered queue of ``(when, seq, payload)`` records.
+
+    Ties on timestamp dequeue FIFO via the monotone sequence counter.
+    Timestamps must be finite and non-negative (simulated time).
+
+    ``push`` returns the internal record as a *cancellation handle*;
+    :meth:`cancel` lazily removes it.  A handle is valid until its
+    record fires or is cancelled, whichever comes first — cancelling a
+    handle whose event has already been popped is undefined, because
+    popped records are recycled into later pushes.
+    """
+
+    __slots__ = ("_buckets", "_heads", "_nbuckets", "_width", "_size",
+                 "_seq", "_vday", "_free", "_grow_at", "_shrink_at",
+                 "_cindex", "_cbucket", "_cend")
+
+    def __init__(self, width: Optional[float] = None,
+                 nbuckets: int = MIN_BUCKETS):
+        if width is None:
+            width = INF
+        if width <= 0.0:
+            raise ValueError("bucket width must be positive")
+        if width == INF:
+            width = INF  # normalize identity for the push fast path
+        self._nbuckets = nbuckets
+        if nbuckets < 1:
+            raise ValueError("need at least one bucket")
+        self._width = width
+        self._buckets: List[List[list]] = [[] for _ in range(nbuckets)]
+        #: Per-bucket consumed-prefix index: bucket entries before the
+        #: head have already been popped (compacted lazily so bursts of
+        #: same-day records drain in amortized O(1)).
+        self._heads: List[int] = [0] * nbuckets
+        self._size = 0
+        self._seq = 0
+        #: Virtual day under the dequeue cursor (monotone within a
+        #: sweep; reset by pushes into the past and by resizes).
+        self._vday = 0
+        #: Free list of popped records awaiting reuse.
+        self._free: List[list] = []
+        self._grow_at = 2 * nbuckets
+        self._shrink_at = nbuckets // 2 if nbuckets > MIN_BUCKETS else 0
+        # Cached dequeue cursor: the current day's bucket index, the
+        # bucket list itself (aliased — pushes into the same bucket are
+        # visible through it), and the day's end boundary.  ``_cend``
+        # doubles as the validity flag: -1.0 never admits a timestamp,
+        # forcing the next pop onto the generic sweep, which re-arms
+        # the cache.
+        self._cindex = 0
+        self._cbucket = self._buckets[0]
+        self._cend = -1.0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _day_of(self, when: float) -> int:
+        """The virtual day whose ``[day*w, (day+1)*w)`` window holds
+        ``when``, judged by the same float products the sweep uses.
+
+        ``int(when / width)`` alone can disagree with the window test by
+        one ulp; normalizing here makes membership and sweep eligibility
+        provably consistent, which is what guarantees global
+        ``(when, seq)`` dequeue order across buckets.
+        """
+        width = self._width
+        day = int(when / width)
+        if when >= (day + 1) * width:
+            day += 1
+        elif day > 0 and when < day * width:
+            day -= 1
+        return day
+
+    def push(self, when: float, payload: Any) -> list:
+        """Enqueue ``payload`` at ``when``; returns the cancel handle."""
+        if when < 0.0:
+            raise ValueError(f"negative timestamp: {when}")
+        seq = self._seq = self._seq + 1
+        free = self._free
+        if free:
+            record = free.pop()
+            record[0] = when
+            record[1] = seq
+            record[2] = payload
+        else:
+            record = [when, seq, payload]
+        # _day_of, inlined: this is one of the two hottest loops in the
+        # whole simulator, and the call overhead alone is ~20% of a
+        # push.  In the single-unbounded-day regime the arithmetic
+        # collapses to day 0.
+        width = self._width
+        if width is INF:
+            day = 0
+            index = 0
+        else:
+            day = int(when / width)
+            if when >= (day + 1) * width:
+                day += 1
+            elif day > 0 and when < day * width:
+                day -= 1
+            index = day % self._nbuckets
+        bucket = self._buckets[index]
+        # The consumed prefix (entries before the head) may hold recycled
+        # records with arbitrary contents; both branches below only ever
+        # place the new record at or after the head, so that garbage is
+        # never compared where it matters.
+        if bucket and record < bucket[-1]:
+            insort(bucket, record, lo=self._heads[index])
+        else:
+            bucket.append(record)
+        size = self._size = self._size + 1
+        if size == 1:
+            self._vday = day
+            self._cindex = index
+            self._cbucket = bucket
+            self._cend = (day + 1) * width
+        elif day < self._vday:
+            self._vday = day
+            self._cend = -1.0
+        if size > self._grow_at:
+            self._resize(self._nbuckets * 2)
+        return record
+
+    def cancel(self, record: list) -> None:
+        """Lazily remove a pending record by its push handle."""
+        if record[2] is None:
+            raise ValueError("record already cancelled")
+        record[2] = None
+        self._size -= 1
+        if self._shrink_at and self._size < self._shrink_at:
+            self._resize(self._nbuckets // 2)
+
+    # ------------------------------------------------------------------
+
+    def _advance_to_next(self) -> None:
+        """Jump the cursor to the earliest pending record's day.
+
+        Called when a full lap of the calendar found nothing eligible:
+        every pending record lives in a later year, so locate the global
+        minimum head directly rather than sweeping empty years.
+        """
+        best: Optional[list] = None
+        for index in range(self._nbuckets):
+            bucket = self._buckets[index]
+            head = self._heads[index]
+            while head < len(bucket) and bucket[head][2] is None:
+                head += 1
+            self._heads[index] = head
+            if head < len(bucket):
+                record = bucket[head]
+                if best is None or record < best:
+                    best = record
+        if best is None:
+            raise IndexError("pop from an empty CalendarQueue")
+        self._vday = self._day_of(best[0])
+
+    def _pop_record(self) -> list:
+        """Remove and return the earliest live record.
+
+        Fast path: the cached cursor points at the current day's bucket;
+        when its head record is live and inside the day window, pop is a
+        handful of index operations.  Everything else — day advances,
+        tombstones, invalidated cache — takes :meth:`_pop_slow`.
+        """
+        heads = self._heads
+        index = self._cindex
+        bucket = self._cbucket
+        head = heads[index]
+        if head < len(bucket):
+            record = bucket[head]
+            if record[0] < self._cend and record[2] is not None:
+                head += 1
+                if head > 32 and head + head > len(bucket):
+                    del bucket[:head]
+                    head = 0
+                heads[index] = head
+                self._size -= 1
+                if self._shrink_at and self._size < self._shrink_at:
+                    self._resize(self._nbuckets // 2)
+                return record
+        return self._pop_slow()
+
+    def _pop_slow(self) -> list:
+        """The generic dequeue sweep; re-arms the cursor cache."""
+        if self._size == 0:
+            raise IndexError("pop from an empty CalendarQueue")
+        buckets = self._buckets
+        heads = self._heads
+        nbuckets = self._nbuckets
+        width = self._width
+        vday = self._vday
+        scanned = 0
+        while True:
+            index = vday % nbuckets
+            bucket = buckets[index]
+            head = heads[index]
+            blen = len(bucket)
+            day_end = (vday + 1) * width
+            while head < blen:
+                record = bucket[head]
+                if record[2] is None:
+                    # Tombstone from cancel(); drop it (not recycled:
+                    # the canceller may still hold the handle).
+                    head += 1
+                    continue
+                if record[0] < day_end:
+                    head += 1
+                    if head > 32 and head + head > blen:
+                        del bucket[:head]
+                        head = 0
+                    heads[index] = head
+                    self._vday = vday
+                    self._cindex = index
+                    self._cbucket = bucket
+                    self._cend = day_end
+                    self._size -= 1
+                    if self._shrink_at and self._size < self._shrink_at:
+                        self._resize(self._nbuckets // 2)
+                    return record
+                break
+            if head != heads[index]:
+                heads[index] = head
+            vday += 1
+            scanned += 1
+            if scanned > nbuckets:
+                self._advance_to_next()
+                vday = self._vday
+                scanned = 0
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return ``(when, payload)`` for the earliest record.
+
+        The record itself is recycled into the free list.
+        """
+        record = self._pop_record()
+        when = record[0]
+        payload = record[2]
+        record[2] = None
+        self._free.append(record)
+        return when, payload
+
+    def recycle(self, record: list) -> None:
+        """Return a record obtained from :meth:`_pop_record` for reuse."""
+        record[2] = None
+        self._free.append(record)
+
+    def peek_time(self) -> float:
+        """Earliest pending timestamp (queue unchanged)."""
+        if self._size == 0:
+            raise IndexError("peek into an empty CalendarQueue")
+        buckets = self._buckets
+        heads = self._heads
+        nbuckets = self._nbuckets
+        width = self._width
+        vday = self._vday
+        scanned = 0
+        while True:
+            index = vday % nbuckets
+            bucket = buckets[index]
+            head = heads[index]
+            blen = len(bucket)
+            while head < blen and bucket[head][2] is None:
+                head += 1
+            if head != heads[index]:
+                heads[index] = head
+            day_end = (vday + 1) * width
+            if head < blen and bucket[head][0] < day_end:
+                # Advancing the cursor over verified-empty days is safe:
+                # only pushes into the past rewind it, and they do so
+                # themselves.  Re-arm the cache so the pop that usually
+                # follows a peek takes the fast path.
+                self._vday = vday
+                self._cindex = index
+                self._cbucket = bucket
+                self._cend = day_end
+                return bucket[head][0]
+            vday += 1
+            scanned += 1
+            if scanned > nbuckets:
+                self._advance_to_next()
+                vday = self._vday
+                scanned = 0
+
+    # ------------------------------------------------------------------
+
+    def _live_records(self) -> List[list]:
+        records = []
+        for index in range(self._nbuckets):
+            bucket = self._buckets[index]
+            for position in range(self._heads[index], len(bucket)):
+                record = bucket[position]
+                if record[2] is not None:
+                    records.append(record)
+        return records
+
+    def _tune_width(self, records: List[list]) -> float:
+        """Pick a bucket width from the gaps between the nearest events.
+
+        Classic calendar-queue tuning: average the separation of the
+        first few dozen records in dequeue order and size a day to hold
+        a small constant number of them.  Deterministic — depends only
+        on queue contents.
+        """
+        if len(records) < 2:
+            return self._width
+        sample = sorted(record[0] for record in records[:WIDTH_SAMPLE]
+                        ) if len(records) > WIDTH_SAMPLE else sorted(
+                            record[0] for record in records)
+        sample = sample[:WIDTH_SAMPLE]
+        span = sample[-1] - sample[0]
+        if span <= 0.0:
+            # Every sampled record is simultaneous; any width works,
+            # keep the current one.
+            return self._width
+        return 2.0 * span / (len(sample) - 1)
+
+    def _resize(self, nbuckets: int) -> None:
+        records = self._live_records()
+        # Dequeue order is insensitive to bucket layout, so sorting here
+        # is purely an implementation convenience for rebuild.
+        records.sort()
+        self._width = self._tune_width(records)
+        self._nbuckets = nbuckets
+        self._buckets = [[] for _ in range(nbuckets)]
+        self._heads = [0] * nbuckets
+        self._grow_at = 2 * nbuckets
+        self._shrink_at = nbuckets // 2 if nbuckets > MIN_BUCKETS else 0
+        if records:
+            self._vday = self._day_of(records[0][0])
+        else:
+            self._vday = 0
+        buckets = self._buckets
+        for record in records:
+            buckets[self._day_of(record[0]) % nbuckets].append(record)
+        # The old cached cursor aliases a discarded bucket list; point
+        # it at the new layout and let the next slow pop re-arm it.
+        self._cindex = self._vday % nbuckets
+        self._cbucket = buckets[self._cindex]
+        self._cend = -1.0

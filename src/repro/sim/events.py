@@ -6,6 +6,13 @@ Events move through three states: *pending* (created, not yet fired),
 *processed* (callbacks have run).  Waiting on an already-processed event
 resumes the waiter immediately on the next scheduler step, so there is no
 lost-wakeup race.
+
+This module sits on the kernel's hottest path — a replay run processes
+hundreds of events per NFS operation — so the primitives are written
+flat: callback lists materialize only when a subscriber appears, event
+labels are computed lazily, and scheduling goes through the simulator's
+single ``_push`` indirection shared by both the heap and calendar
+kernels (see :mod:`repro.sim.core`).
 """
 
 from __future__ import annotations
@@ -39,8 +46,10 @@ class Event:
         self.value: Any = None
         #: set by :meth:`fail`; delivered by throwing into waiters.
         self.error: Optional[BaseException] = None
-        #: callables invoked as ``cb(event)`` when the event is processed.
-        self.callbacks: List[Callable[["Event"], None]] = []
+        #: callables invoked as ``cb(event)`` when the event is
+        #: processed; ``None`` until the first subscriber (most events
+        #: never get one, so the list is lazy).
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = None
 
     def __repr__(self) -> str:
         label = self.name or self.__class__.__name__
@@ -65,7 +74,11 @@ class Event:
             raise RuntimeError(f"{self!r} already triggered")
         self.state = TRIGGERED
         self.value = value
-        self.sim._schedule_event(self, delay)
+        sim = self.sim
+        if delay < 0:
+            from .errors import SchedulingError
+            raise SchedulingError(f"cannot schedule {self!r} in the past")
+        sim._push(sim.now + delay, self)
         return self
 
     def fail(self, error: BaseException, delay: float = 0.0) -> "Event":
@@ -82,7 +95,11 @@ class Event:
             raise RuntimeError(f"{self!r} already triggered")
         self.state = TRIGGERED
         self.error = error
-        self.sim._schedule_event(self, delay)
+        sim = self.sim
+        if delay < 0:
+            from .errors import SchedulingError
+            raise SchedulingError(f"cannot schedule {self!r} in the past")
+        sim._push(sim.now + delay, self)
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -93,14 +110,18 @@ class Event:
         """
         if self.state == PROCESSED:
             callback(self)
+        elif self.callbacks is None:
+            self.callbacks = [callback]
         else:
             self.callbacks.append(callback)
 
     def _process(self) -> None:
         self.state = PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        if callbacks is not None:
+            self.callbacks = None
+            for callback in callbacks:
+                callback(self)
 
 
 class Timeout(Event):
@@ -111,11 +132,21 @@ class Timeout(Event):
     def __init__(self, sim, delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay:g})")
-        self.delay = delay
+        # Flattened Event.__init__ (timeouts are the kernel's most
+        # common allocation; the super().__init__ chain is measurable).
+        self.sim = sim
         self.state = TRIGGERED
         self.value = value
-        sim._schedule_event(self, delay)
+        self.error = None
+        self.callbacks = None
+        self.delay = delay
+        sim._push(sim.now + delay, self)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        # Computed on demand: formatting "timeout(0.004)" per event was
+        # a visible slice of the old kernel's per-op cost.
+        return f"timeout({self.delay:g})"
 
 
 class AnyOf(Event):
@@ -165,10 +196,13 @@ class AllOf(Event):
 
 
 class EventQueue:
-    """A time-ordered queue of triggered events.
+    """The reference time-ordered queue: a binary heap of tuples.
 
     Ties on timestamp are broken FIFO via a monotonically increasing
-    sequence number, which keeps the simulation deterministic.
+    sequence number, which keeps the simulation deterministic.  This is
+    the pre-calendar implementation, retained verbatim as the
+    ``--kernel heap`` escape hatch and as the independent ground truth
+    the bit-identity battery compares the calendar kernel against.
     """
 
     __slots__ = ("_heap", "_counter")

@@ -1,0 +1,191 @@
+"""Property-based tests for the calendar queue (hypothesis).
+
+The reference model is the legacy heapq ``EventQueue`` — the kernel the
+calendar replaces.  Every interleaving of push/pop/cancel the strategy
+generates must dequeue the *same payloads in the same order* from both
+structures, including duplicate timestamps (FIFO within a timestamp via
+the monotone sequence counter) and across bucket-resize boundaries
+(grow past ``_grow_at``, shrink below ``_shrink_at``).
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.calendar import MIN_BUCKETS, CalendarQueue
+from repro.sim.events import EventQueue
+
+# Timestamps spanning six orders of magnitude plus a small pool of
+# exactly-repeating values so duplicate-timestamp FIFO is exercised
+# hard, not just occasionally.
+TIMESTAMPS = st.one_of(
+    st.sampled_from([0.0, 0.5, 1.0, 1.0, 2.5]),
+    st.floats(min_value=0.0, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+)
+
+#: One scripted step: push(when), pop, or cancel(i) of the i-th oldest
+#: still-live pushed record.
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), TIMESTAMPS),
+        st.tuples(st.just("pop"), st.none()),
+        st.tuples(st.just("cancel"), st.integers(min_value=0,
+                                                 max_value=200)),
+    ),
+    max_size=300,
+)
+
+
+class ModelQueue(EventQueue):
+    """The heapq reference, extended with tombstone cancellation so the
+    model speaks the same cancel verb as the calendar."""
+
+    def __init__(self):
+        super().__init__()
+        self._cancelled = set()
+
+    def cancel_payload(self, payload):
+        self._cancelled.add(payload)
+
+    def pop(self):
+        while True:
+            when, payload = super().pop()
+            if payload in self._cancelled:
+                self._cancelled.discard(payload)
+                continue
+            return when, payload
+
+    def __len__(self):
+        return super().__len__() - len(self._cancelled)
+
+
+def run_script(ops, queue_width=None):
+    """Drive calendar and heapq-model through one interleaving.
+
+    Pops are compared as ``(when, payload)`` pairs at every step, not
+    just at the end, so a transient ordering divergence cannot cancel
+    itself out.
+    """
+    calendar = CalendarQueue(width=queue_width)
+    model = ModelQueue()
+    live = []  # [(when, payload, calendar_record)] in push order
+    payload_counter = iter(range(10**9))
+    for op, arg in ops:
+        if op == "push":
+            payload = next(payload_counter)
+            record = calendar.push(arg, payload)
+            model.push(arg, payload)
+            live.append((arg, payload, record))
+        elif op == "pop":
+            if not len(model):
+                assert len(calendar) == 0
+                continue
+            expected = model.pop()
+            assert calendar.pop() == expected
+            live = [entry for entry in live if entry[1] != expected[1]]
+        else:  # cancel
+            if not live:
+                continue
+            _when, payload, record = live.pop(arg % len(live))
+            calendar.cancel(record)
+            model.cancel_payload(payload)
+    # Drain: whatever interleaving ran, the tails must agree too.
+    while len(model):
+        assert calendar.pop() == model.pop()
+    assert len(calendar) == 0
+    with pytest.raises(IndexError):
+        calendar.pop()
+
+
+class TestInterleavings:
+    @given(OPS)
+    @settings(max_examples=200, deadline=None)
+    def test_push_pop_cancel_matches_heapq_model(self, ops):
+        run_script(ops)
+
+    @given(OPS, st.floats(min_value=1e-3, max_value=1e3,
+                          allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100, deadline=None)
+    def test_explicit_width_construction_matches_too(self, ops, width):
+        run_script(ops, queue_width=width)
+
+
+class TestDuplicateTimestamps:
+    @given(st.integers(min_value=2, max_value=64),
+           st.floats(min_value=0.0, max_value=1e6,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100, deadline=None)
+    def test_fifo_within_a_timestamp(self, count, when):
+        queue = CalendarQueue()
+        for payload in range(count):
+            queue.push(when, payload)
+        assert [queue.pop()[1] for _ in range(count)] == \
+            list(range(count))
+
+    @given(st.lists(st.sampled_from([1.0, 2.0, 3.0]),
+                    min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_stable_across_interleaved_duplicates(self, whens):
+        queue = CalendarQueue()
+        for payload, when in enumerate(whens):
+            queue.push(when, payload)
+        popped = [queue.pop() for _ in range(len(whens))]
+        expected = sorted(enumerate(whens), key=lambda kv: (kv[1], kv[0]))
+        assert popped == [(when, payload)
+                          for payload, when in expected]
+
+
+class TestResizeBoundaries:
+    @given(st.integers(min_value=1, max_value=400),
+           st.floats(min_value=1e-4, max_value=1e4,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100, deadline=None)
+    def test_growth_across_resize_keeps_order(self, count, spacing):
+        # Push enough uniformly spaced events to force repeated grows
+        # past _grow_at, then drain — order must be exact.
+        queue = CalendarQueue()
+        start_buckets = queue._nbuckets
+        for payload in range(count):
+            queue.push(payload * spacing, payload)
+        if count > 2 * start_buckets:
+            assert queue._nbuckets > start_buckets  # resize happened
+        assert [queue.pop()[1] for _ in range(count)] == \
+            list(range(count))
+
+    @given(st.integers(min_value=64, max_value=256))
+    @settings(max_examples=50, deadline=None)
+    def test_shrink_path_keeps_order(self, count):
+        # Grow, drain most of the population to trip the shrink
+        # threshold, then interleave fresh pushes: the shrink must not
+        # scramble the survivors.
+        queue = CalendarQueue()
+        for payload in range(count):
+            queue.push(float(payload), payload)
+        grown = queue._nbuckets
+        drained = [queue.pop()[1] for _ in range(count - 4)]
+        assert drained == list(range(count - 4))
+        assert queue._nbuckets < grown or grown == MIN_BUCKETS
+        for payload in range(count, count + 8):
+            queue.push(float(payload), payload)
+        tail = [queue.pop()[1] for _ in range(len(queue))]
+        assert tail == list(range(count - 4, count + 8))
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_pathological_clustering_still_sorted(self, cluster):
+        # All events clustered in a narrow window plus a far outlier:
+        # bucket-local insort and the year-advance sweep must
+        # cooperate.
+        queue = CalendarQueue()
+        for payload, when in enumerate(cluster):
+            queue.push(when, payload)
+        queue.push(1e9, "far")
+        order = [queue.pop() for _ in range(len(cluster) + 1)]
+        assert order == sorted(order, key=lambda kv: kv[0])
+        assert order[-1] == (1e9, "far")

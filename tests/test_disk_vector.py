@@ -1,0 +1,139 @@
+"""Bit-identity of the vectorized disk-mechanics batch paths.
+
+The batch helpers (`SeekModel.seek_times`, `RotationModel.latencies_to`,
+`DiskGeometry.cylinders_of_lbas` / `angles_of_lbas`, and
+`DiskDrive.positioning_times`) may run through numpy.  Every test here
+asserts *exact* float equality against the scalar code they replace:
+the whole kernel-determinism story rests on batch math never drifting
+by an ulp.
+"""
+
+import random
+
+import pytest
+
+from repro.disk.geometry import DiskGeometry, Zone, make_linear_zcav_zones
+from repro.disk.mechanics import VECTOR_MIN, RotationModel, SeekModel
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(
+        "vectest", rpm=7200, heads=4,
+        zones=make_linear_zcav_zones(8, cylinders=4000, outer_spt=640,
+                                     inner_spt=420))
+
+
+@pytest.fixture
+def seek_model(geometry):
+    return SeekModel(track_to_track=0.0008, average=0.0085,
+                     full_stroke=0.016, cylinders=geometry.cylinders)
+
+
+class TestSeekBatch:
+    def test_matches_scalar_exactly(self, seek_model):
+        rng = random.Random(11)
+        distances = [0, 1, 2, seek_model._knee, seek_model._knee + 1,
+                     seek_model.cylinders - 1]
+        distances += [rng.randrange(seek_model.cylinders)
+                      for _ in range(500)]
+        batch = seek_model.seek_times(distances)
+        scalar = [seek_model.seek_time(d) for d in distances]
+        assert batch == scalar
+
+    def test_small_batches_match_too(self, seek_model):
+        # Below VECTOR_MIN the scalar fallback runs; both must agree.
+        for size in range(VECTOR_MIN + 2):
+            distances = list(range(size))
+            assert seek_model.seek_times(distances) == \
+                [seek_model.seek_time(d) for d in distances]
+
+    def test_negative_distance_rejected(self, seek_model):
+        with pytest.raises(ValueError):
+            seek_model.seek_times([1, 2, -1] + [3] * VECTOR_MIN)
+
+
+class TestRotationBatch:
+    def test_matches_scalar_exactly(self):
+        rotation = RotationModel(rpm=7200)
+        rng = random.Random(12)
+        nows = [rng.random() * 100 for _ in range(500)]
+        angles = [rng.random() for _ in range(500)]
+        # Include out-of-range angles, which the scalar path normalizes.
+        angles[:4] = [1.0, 1.75, -0.25, 2.0]
+        batch = rotation.latencies_to(nows, angles)
+        scalar = [rotation.latency_to(now, angle)
+                  for now, angle in zip(nows, angles)]
+        assert batch == scalar
+
+
+class TestGeometryBatch:
+    def test_cylinders_match_scalar_exactly(self, geometry):
+        rng = random.Random(13)
+        lbas = [0, geometry.total_sectors - 1]
+        lbas += [rng.randrange(geometry.total_sectors) for _ in range(500)]
+        assert geometry.cylinders_of_lbas(lbas) == \
+            [geometry.cylinder_of_lba(lba) for lba in lbas]
+
+    def test_angles_match_scalar_exactly(self, geometry):
+        rng = random.Random(14)
+        lbas = [rng.randrange(geometry.total_sectors) for _ in range(500)]
+        assert geometry.angles_of_lbas(lbas) == \
+            [geometry.angle_of_lba(lba) for lba in lbas]
+
+    def test_zone_boundaries_are_exercised(self, geometry):
+        # Every zone boundary LBA, from both sides.
+        lbas = []
+        for first in geometry._zone_first_lba:
+            if first > 0:
+                lbas.append(first - 1)
+            lbas.append(first)
+        assert geometry.cylinders_of_lbas(lbas) == \
+            [geometry.cylinder_of_lba(lba) for lba in lbas]
+        assert geometry.angles_of_lbas(lbas) == \
+            [geometry.angle_of_lba(lba) for lba in lbas]
+
+    def test_out_of_range_rejected(self, geometry):
+        with pytest.raises(ValueError):
+            geometry.cylinders_of_lbas(
+                [geometry.total_sectors] * (VECTOR_MIN + 1))
+        with pytest.raises(ValueError):
+            geometry.angles_of_lbas([-1] * (VECTOR_MIN + 1))
+
+
+class TestDrivePositioningBatch:
+    def test_positioning_times_match_scalar(self):
+        """Batch positioning over a synthetic queue == scalar loop.
+
+        Two drives in identical states probe their caches in the same
+        order, so the LRU mutations agree and the estimates must be
+        equal floats.
+        """
+        from repro.disk.request import DiskRequest
+        from repro.sim import Simulator
+
+        def build():
+            sim = Simulator()
+            geometry = DiskGeometry(
+                "drv", rpm=7200, heads=2,
+                zones=[Zone(cylinders=500, sectors_per_track=500),
+                       Zone(cylinders=500, sectors_per_track=400)])
+            seek = SeekModel(track_to_track=0.0008, average=0.0085,
+                             full_stroke=0.016,
+                             cylinders=geometry.cylinders)
+            from repro.disk.drive import DiskDrive
+            drive = DiskDrive(sim, geometry, seek,
+                              interface_rate=160e6)
+            return sim, drive
+
+        rng = random.Random(15)
+        requests = [
+            DiskRequest(id=i, lba=rng.randrange(900_000), nsectors=64)
+            for i in range(40)]
+
+        _sim_a, drive_a = build()
+        scalar = [drive_a.positioning_time(request)
+                  for request in requests]
+        _sim_b, drive_b = build()
+        batch = drive_b.positioning_times(requests)
+        assert batch == scalar

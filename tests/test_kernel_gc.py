@@ -1,0 +1,69 @@
+"""Zero-allocation steady state: the calendar kernel reuses records.
+
+The free-list in ``CalendarQueue`` exists so the hot loop (allocate
+event → push → pop → resume) stops minting a fresh list per event.
+These tests pin that down observably: after warm-up, a 100k-event churn
+must not grow the interpreter's object population — per-op garbage is
+zero, everything cycles through the pool.
+"""
+
+import gc
+
+from repro.sim import Simulator
+
+
+def churn_sim(population: int = 50, period: float = 1.0) -> Simulator:
+    """A steady-state hold model: ``population`` perpetual timers."""
+    sim = Simulator(kernel="calendar")
+
+    def ticker(phase: int):
+        # Deterministic varying delays, no RNG objects involved.
+        while True:
+            yield sim.timeout(period + (phase % 7) * 0.01)
+
+    for phase in range(population):
+        sim.spawn(ticker(phase))
+    return sim
+
+
+def settled_object_count() -> int:
+    gc.collect()
+    gc.collect()
+    return len(gc.get_objects())
+
+
+class TestZeroGarbageChurn:
+    def test_no_object_growth_over_100k_ops(self):
+        sim = churn_sim()
+        # Warm-up: free-list and interpreter caches reach steady state.
+        sim.run(until=200.0)  # ~10k events
+        before = settled_object_count()
+        # Measured window: >=100k events through the kernel.
+        sim.run(until=2300.0)  # ~105k further events
+        after = settled_object_count()
+        # Zero per-op garbage: any growth here is O(1) test-harness
+        # noise (gc internals), emphatically not O(ops).
+        assert after - before <= 50, (
+            f"object count grew by {after - before} over ~100k ops; "
+            "the event free-list is leaking per-op allocations")
+
+    def test_free_list_actually_recycles(self):
+        # White-box confirmation that the zero-growth result above is
+        # the free-list working, not gc heroics: a recycled record is
+        # the *same list object* the next push hands back.
+        from repro.sim.calendar import CalendarQueue
+        queue = CalendarQueue()
+        record = queue.push(1.0, "a")
+        assert queue.pop() == (1.0, "a")
+        queue.recycle(record)
+        assert queue.push(2.0, "b") is record
+
+    def test_pool_stays_bounded_at_steady_state(self):
+        # The pool must not itself become the leak: its size is
+        # bounded by the peak concurrent population, not by ops run.
+        sim = churn_sim(population=20)
+        sim.run(until=100.0)
+        queue = sim._queue
+        pool_after_warmup = len(queue._free)
+        sim.run(until=500.0)
+        assert len(queue._free) <= max(pool_after_warmup, 20) + 1
