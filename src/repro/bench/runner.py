@@ -287,19 +287,22 @@ def run_stride_once(config: TestbedConfig, strides: int,
 # Repetition
 # ---------------------------------------------------------------------------
 
-def collect_throughputs(run_once: Callable[[TestbedConfig], RunResult],
-                        config: TestbedConfig, runs: int,
-                        jobs: int = 1) -> List[float]:
-    """Per-seed throughputs for ``runs`` repeats, in seed order.
+def collect_metric(run_once: Callable[[TestbedConfig], object],
+                   config: TestbedConfig, runs: int,
+                   jobs: int = 1,
+                   metric: str = "throughput_mb_s") -> List[float]:
+    """Per-seed values of ``metric`` for ``runs`` repeats, in seed order.
 
-    With ``jobs > 1`` the repeats are sharded across worker processes
-    by the campaign orchestrator (see :mod:`repro.campaign`), which
-    journals every completed repeat and transparently re-dispatches a
-    repeat whose worker crashes or hangs.  Each run is a pure function
-    of (config, seed) — inode numbering, RNG streams, and the simulator
-    clock are all per-testbed — and the orchestrator folds results in
-    seed order, so the list (and anything folded from it in order) is
-    byte-identical to the serial path.
+    ``metric`` names an attribute of ``run_once``'s result — a string
+    rather than a callable so the repeats stay picklable under
+    ``jobs > 1``.  With ``jobs > 1`` the repeats are sharded across
+    worker processes by the campaign orchestrator (see
+    :mod:`repro.campaign`), which journals every completed repeat and
+    transparently re-dispatches a repeat whose worker crashes or hangs.
+    Each run is a pure function of (config, seed) — inode numbering,
+    RNG streams, and the simulator clock are all per-testbed — and the
+    orchestrator folds results in seed order, so the list (and anything
+    folded from it in order) is byte-identical to the serial path.
 
     Parallelism is skipped under an active observability session: the
     workers' obs state would die with them, silently dropping spans.
@@ -311,9 +314,18 @@ def collect_throughputs(run_once: Callable[[TestbedConfig], RunResult],
     if jobs == 1 or runs == 1 or active_session() is not None:
         seeds = [config.with_seed(config.seed + 1000 * index)
                  for index in range(runs)]
-        return [run_once(seeded).throughput_mb_s for seeded in seeds]
-    from ..campaign import collect_throughputs_sharded
-    return collect_throughputs_sharded(run_once, config, runs, jobs)
+        return [getattr(run_once(seeded), metric) for seeded in seeds]
+    from ..campaign import collect_metric_sharded
+    return collect_metric_sharded(run_once, config, runs, jobs,
+                                  metric=metric)
+
+
+def collect_throughputs(run_once: Callable[[TestbedConfig], RunResult],
+                        config: TestbedConfig, runs: int,
+                        jobs: int = 1) -> List[float]:
+    """Per-seed throughputs for ``runs`` repeats, in seed order."""
+    return collect_metric(run_once, config, runs, jobs,
+                          metric="throughput_mb_s")
 
 
 def repeat(run_once: Callable[[TestbedConfig], RunResult],

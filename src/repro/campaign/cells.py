@@ -29,7 +29,8 @@ SPEC_VERSION = 1
 #: TestbedConfig knobs a campaign spec may carry, with their defaults.
 _TESTBED_KEYS = ("drive", "partition", "transport", "server_heuristic",
                  "nfsheur", "num_clients", "mount_verifier_recovery",
-                 "seed")
+                 "acregmin", "acregmax", "acdirmin", "acdirmax",
+                 "close_to_open", "readdir_count", "seed")
 
 
 @dataclass(frozen=True)
@@ -76,10 +77,29 @@ def _testbed_config(params: dict, index: int):
 
 
 def run_bench_cell(spec: CampaignSpec, index: int) -> dict:
-    """One seeded benchmark repeat; mirrors the serial `bench` loop."""
-    from ..bench.runner import run_nfs_once
+    """One seeded benchmark repeat; mirrors the serial `bench` loop.
+
+    ``params["workload"] == "namespace"`` routes the cell to the
+    metadata workload family (:mod:`repro.workloads.namespace`); the
+    default is the paper's §4.3 streaming-read benchmark.
+    """
     params = spec.params
     config = _testbed_config(params, index)
+    if params.get("workload") == "namespace":
+        from ..workloads import (NamespaceTreeSpec, NamespaceWorkload,
+                                 run_namespace_once)
+        tree = NamespaceTreeSpec(
+            files=params.get("files", 10_000),
+            depth=params.get("tree_depth", 0),
+            fanout=params.get("fanout", 32))
+        workload = NamespaceWorkload(
+            pattern=params.get("pattern", "stat"),
+            ops=params.get("ops", 1_000),
+            zipf_s=params.get("zipf_s", 1.1))
+        result = run_namespace_once(config, tree, workload)
+        return {"ops_per_s": result.ops_per_s,
+                "errors": result.errors}
+    from ..bench.runner import run_nfs_once
     result = run_nfs_once(config, nreaders=params.get("readers", 4),
                           scale=params.get("scale", 0.125))
     return {"throughput_mb_s": result.throughput_mb_s}

@@ -67,35 +67,60 @@ def run_spec_campaign(spec: CampaignSpec, journal_path: str,
 def bench_spec(runs: int, *, drive: str = "ide", partition: int = 1,
                transport: str = "udp", heuristic: str = "default",
                nfsheur: str = "default", readers: int = 4,
-               scale: float = 0.125, seed: int = 0) -> CampaignSpec:
-    return CampaignSpec(kind="bench", cells=runs, params={
+               scale: float = 0.125, seed: int = 0,
+               workload: Optional[str] = None, pattern: str = "stat",
+               files: int = 10_000, tree_depth: int = 0,
+               fanout: int = 32, ops: int = 1_000) -> CampaignSpec:
+    params = {
         "drive": drive, "partition": partition, "transport": transport,
         "server_heuristic": heuristic, "nfsheur": nfsheur,
-        "readers": readers, "scale": scale, "seed": seed})
+        "readers": readers, "scale": scale, "seed": seed}
+    if workload == "namespace":
+        params.update({"workload": "namespace", "pattern": pattern,
+                       "files": files, "tree_depth": tree_depth,
+                       "fanout": fanout, "ops": ops})
+    return CampaignSpec(kind="bench", cells=runs, params=params)
 
 
 def fold_bench(spec: CampaignSpec,
                outcome: CampaignOutcome) -> Tuple[dict, List[float]]:
-    """Fold a complete bench campaign into the `bench` record shape."""
+    """Fold a complete bench campaign into the `bench` record shape.
+
+    Namespace-workload campaigns fold ``ops_per_s`` instead of
+    throughput; everything else about the record shape matches.
+    """
     if not outcome.complete:
         raise CampaignIncomplete(outcome, "bench campaign")
     from ..stats import RunningSummary
-    throughputs = [o.result["throughput_mb_s"] for o in outcome.outcomes]
-    acc = RunningSummary()
-    for throughput in throughputs:
-        acc.add(throughput)
-    summary = acc.freeze()
     params = spec.params
+    namespace = params.get("workload") == "namespace"
+    metric = "ops_per_s" if namespace else "throughput_mb_s"
+    values = [o.result[metric] for o in outcome.outcomes]
+    acc = RunningSummary()
+    for value in values:
+        acc.add(value)
+    summary = acc.freeze()
     record = {"verb": "bench", "drive": params["drive"],
               "partition": params["partition"],
               "transport": params["transport"],
               "heuristic": params["server_heuristic"],
               "nfsheur": params["nfsheur"],
-              "readers": params["readers"], "scale": params["scale"],
-              "seed": params["seed"], "runs": spec.cells,
-              "throughputs_mb_s": throughputs,
-              "mean_mb_s": summary.mean, "std_mb_s": summary.std}
-    return record, throughputs
+              "seed": params["seed"], "runs": spec.cells}
+    if namespace:
+        record.update({
+            "workload": "namespace",
+            "pattern": params.get("pattern", "stat"),
+            "files": params.get("files", 10_000),
+            "tree_depth": params.get("tree_depth", 0),
+            "ops": params.get("ops", 1_000),
+            "ops_per_s": values,
+            "mean_ops_s": summary.mean, "std_ops_s": summary.std})
+    else:
+        record.update({
+            "readers": params["readers"], "scale": params["scale"],
+            "throughputs_mb_s": values,
+            "mean_mb_s": summary.mean, "std_mb_s": summary.std})
+    return record, values
 
 
 def run_bench_campaign(spec: CampaignSpec, journal_path: str,
@@ -113,20 +138,21 @@ def run_bench_campaign(spec: CampaignSpec, journal_path: str,
     return record, outcome
 
 
-def collect_throughputs_sharded(run_once, config, runs: int,
-                                jobs: int) -> List[float]:
+def collect_metric_sharded(run_once, config, runs: int, jobs: int,
+                           metric: str = "throughput_mb_s"
+                           ) -> List[float]:
     """Orchestrated replacement for the in-process ``--jobs`` pool.
 
     Accepts the same arguments as the serial path in
-    :func:`repro.bench.runner.collect_throughputs`: an arbitrary
-    picklable ``run_once`` and a base config.  Cells run in worker
-    processes under an ephemeral journal (crash recovery and retries
-    included); the returned list is in seed order, so any fold over it
-    is byte-identical to serial.
+    :func:`repro.bench.runner.collect_metric`: an arbitrary picklable
+    ``run_once``, a base config, and the result attribute to extract.
+    Cells run in worker processes under an ephemeral journal (crash
+    recovery and retries included); the returned list is in seed order,
+    so any fold over it is byte-identical to serial.
     """
     seeds = [config.with_seed(config.seed + 1000 * index)
              for index in range(runs)]
-    runner = functools.partial(_callable_cell, run_once, seeds)
+    runner = functools.partial(_callable_cell, run_once, seeds, metric)
     options = CampaignOptions(workers=min(jobs, runs))
     with tempfile.TemporaryDirectory(prefix="bench-jobs-") as tmp:
         outcome = run_sharded(
@@ -136,11 +162,17 @@ def collect_throughputs_sharded(run_once, config, runs: int,
             options=options)
     if not outcome.complete:
         raise CampaignIncomplete(outcome, "bench --jobs")
-    return [o.result["throughput_mb_s"] for o in outcome.outcomes]
+    return [o.result[metric] for o in outcome.outcomes]
 
 
-def _callable_cell(run_once, seeds, index: int) -> dict:
-    return {"throughput_mb_s": run_once(seeds[index]).throughput_mb_s}
+def collect_throughputs_sharded(run_once, config, runs: int,
+                                jobs: int) -> List[float]:
+    return collect_metric_sharded(run_once, config, runs, jobs,
+                                  metric="throughput_mb_s")
+
+
+def _callable_cell(run_once, seeds, metric: str, index: int) -> dict:
+    return {metric: getattr(run_once(seeds[index]), metric)}
 
 
 # ---------------------------------------------------------------------------

@@ -41,6 +41,7 @@ chaos campaigns with a checkpointed journal, worker-failure recovery,
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import functools
 import json
 import os
@@ -186,6 +187,26 @@ def _build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument("--runs", type=int, default=3)
     parser.add_argument("--scale", type=float, default=0.125,
                         help="file-size scale factor (default: 0.125)")
+    parser.add_argument("--workload", choices=["streaming", "namespace"],
+                        default="streaming",
+                        help="streaming = the paper's §4.3 read "
+                             "benchmark; namespace = metadata-heavy "
+                             "directory-tree workload")
+    parser.add_argument("--pattern", default="stat",
+                        help="namespace access pattern "
+                             "(stat/list/grep/untar/edit)")
+    parser.add_argument("--files", type=int, default=10_000,
+                        help="namespace tree size in files")
+    parser.add_argument("--tree-depth", type=int, default=0,
+                        help="0 = one flat directory; >0 = nested "
+                             "fanout^depth leaf directories")
+    parser.add_argument("--fanout", type=int, default=32,
+                        help="directories per level when nested")
+    parser.add_argument("--ops", type=int, default=1_000,
+                        help="namespace operations per run")
+    parser.add_argument("--clients", type=int, default=1,
+                        help="client machines sharing the namespace "
+                             "workload")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the repeats; output "
                              "is byte-identical to --jobs 1")
@@ -216,33 +237,64 @@ def _bench_config(args):
 
 
 def _main_bench(argv: List[str]) -> int:
-    from .bench.runner import collect_throughputs, run_nfs_once
+    from .bench.runner import collect_metric, run_nfs_once
     from .stats import RunningSummary
     args = _build_bench_parser().parse_args(argv)
     _apply_kernel_flag(args)
     config = _bench_config(args)
-    point = functools.partial(run_nfs_once, nreaders=args.readers,
-                              scale=args.scale)
-    throughputs = collect_throughputs(point, config, args.runs,
-                                      jobs=args.jobs)
+    if args.workload == "namespace":
+        from .workloads import (NamespaceTreeSpec, NamespaceWorkload,
+                                run_namespace_once)
+        config = dataclasses.replace(config, num_clients=args.clients)
+        point = functools.partial(
+            run_namespace_once,
+            tree=NamespaceTreeSpec(files=args.files,
+                                   depth=args.tree_depth,
+                                   fanout=args.fanout),
+            workload=NamespaceWorkload(pattern=args.pattern,
+                                       ops=args.ops))
+        metric, unit = "ops_per_s", "ops/s"
+    else:
+        point = functools.partial(run_nfs_once, nreaders=args.readers,
+                                  scale=args.scale)
+        metric, unit = "throughput_mb_s", "MB/s"
+    values = collect_metric(point, config, args.runs, jobs=args.jobs,
+                            metric=metric)
     acc = RunningSummary()
-    for throughput in throughputs:
-        acc.add(throughput)
+    for value in values:
+        acc.add(value)
     summary = acc.freeze()
     record = {"verb": "bench", "drive": args.drive,
               "partition": args.partition, "transport": args.transport,
               "heuristic": args.heuristic, "nfsheur": args.nfsheur,
-              "readers": args.readers, "scale": args.scale,
-              "seed": args.seed, "runs": args.runs, "jobs": args.jobs,
-              "throughputs_mb_s": throughputs,
-              "mean_mb_s": summary.mean, "std_mb_s": summary.std}
+              "seed": args.seed, "runs": args.runs, "jobs": args.jobs}
+    if args.workload == "namespace":
+        record.update({"workload": "namespace",
+                       "pattern": args.pattern, "files": args.files,
+                       "tree_depth": args.tree_depth,
+                       "fanout": args.fanout, "ops": args.ops,
+                       "clients": args.clients,
+                       "ops_per_s": values,
+                       "mean_ops_s": summary.mean,
+                       "std_ops_s": summary.std})
+    else:
+        record.update({"readers": args.readers, "scale": args.scale,
+                       "throughputs_mb_s": values,
+                       "mean_mb_s": summary.mean,
+                       "std_mb_s": summary.std})
     record_json = json.dumps(record, sort_keys=True)
     if args.json or args.out is not None:
         print(record_json)
+    elif args.workload == "namespace":
+        print(f"{args.transport}/{args.heuristic}/{args.nfsheur} "
+              f"{args.drive}{args.partition} {args.pattern} "
+              f"files={args.files}: "
+              f"{summary.mean:.1f} +/- {summary.std:.1f} {unit} "
+              f"({args.runs} runs, jobs={args.jobs})")
     else:
         print(f"{args.transport}/{args.heuristic}/{args.nfsheur} "
               f"{args.drive}{args.partition} readers={args.readers}: "
-              f"{summary.mean:.2f} +/- {summary.std:.2f} MB/s "
+              f"{summary.mean:.2f} +/- {summary.std:.2f} {unit} "
               f"({args.runs} runs, jobs={args.jobs})")
     if args.out is not None:
         with open(args.out, "w") as handle:

@@ -24,10 +24,13 @@ from typing import List, Optional, Sequence
 
 from ..inputs import DiagnosisInputs
 from ..report import Finding
+from .attrcache import AttrCacheStalenessDetector
 from .backlog import OpenLoopBacklogDetector
 from .base import TrapDetector
 from .fairness import BufqFairnessDetector
+from .lookupstorm import LookupStormDetector
 from .nfsheur import NfsheurThrashDetector
+from .readdir import ReaddirChunkingDetector
 from .tcq import TcqReorderingDetector
 from .warmth import CacheWarmthDetector
 from .zcav import ZcavDetector
@@ -42,6 +45,9 @@ def default_detectors() -> List[TrapDetector]:
         NfsheurThrashDetector(),
         CacheWarmthDetector(),
         OpenLoopBacklogDetector(),
+        AttrCacheStalenessDetector(),
+        LookupStormDetector(),
+        ReaddirChunkingDetector(),
     ]
 
 
@@ -58,4 +64,6 @@ def run_detectors(inputs: DiagnosisInputs,
 __all__ = ["TrapDetector", "default_detectors", "run_detectors",
            "ZcavDetector", "TcqReorderingDetector",
            "BufqFairnessDetector", "NfsheurThrashDetector",
-           "CacheWarmthDetector", "OpenLoopBacklogDetector"]
+           "CacheWarmthDetector", "OpenLoopBacklogDetector",
+           "AttrCacheStalenessDetector", "LookupStormDetector",
+           "ReaddirChunkingDetector"]

@@ -1,0 +1,77 @@
+"""Stale attribute-cache answers — the consistency half of the trap.
+
+The paper's §8 closes by noting that benchmarks which never mix
+metadata into the request stream miss the knobs that dominate real
+deployments; the attribute cache is the sharpest of those.  NFSv3
+clients answer ``stat()`` from a per-file attribute cache for up to
+``acregmax`` seconds without asking the server, so a benchmark (or an
+application) that reads attributes while another client mutates the
+files measures a *cache policy*, not the server — and silently consumes
+stale sizes and mtimes.
+
+The testbed's attribute oracle compares every cache answer against the
+server's ground truth (pure bookkeeping — no perturbation):
+``nfs.client.attr_checks`` counts the answers given, and
+``nfs.client.stale_attr_hits`` the subset a real deployment would have
+gotten wrong.  Signature: a material fraction of attribute-cache
+answers were stale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..inputs import DiagnosisInputs
+from ..report import Finding
+from .base import TrapDetector
+
+#: Fraction of cache answers that carried stale attributes.
+STALE_WARNING = 0.05
+STALE_CRITICAL = 0.20
+#: Below this many cache answers, a staleness rate is noise.
+MIN_CHECKS = 50
+
+
+class AttrCacheStalenessDetector(TrapDetector):
+
+    name = "attrcache"
+    trap = "attribute cache serving stale file attributes"
+    paper_section = "§8"
+
+    def detect(self, inputs: DiagnosisInputs) -> List[Finding]:
+        worst: Optional[Tuple[float, float, float, float, dict]] = None
+        for snapshot in inputs.snapshots:
+            checks = inputs.gauge(snapshot, "nfs.client.attr_checks")
+            stale = inputs.gauge(snapshot, "nfs.client.stale_attr_hits")
+            if checks < MIN_CHECKS:
+                continue
+            rate = stale / checks
+            if rate < STALE_WARNING:
+                continue
+            if worst is None or rate > worst[0]:
+                acregmax = inputs.gauge(snapshot, "nfs.mount.acregmax")
+                context = snapshot.get("_context") or {}
+                worst = (rate, stale, checks, acregmax, context)
+        if worst is None:
+            return []
+        rate, stale, checks, acregmax, context = worst
+        severity = "critical" if rate >= STALE_CRITICAL else "warning"
+        return [self.finding(
+            severity=severity,
+            magnitude=rate,
+            message=(f"{stale:.0f} of {checks:.0f} attribute-cache "
+                     f"answers ({rate:.0%}) carried attributes the "
+                     f"server had already changed (acregmax="
+                     f"{acregmax:.0f}s): the run is measuring cache "
+                     f"policy, not the server — shorten acregmax or "
+                     f"drop attribute-sensitive conclusions"),
+            evidence={
+                "metric": "nfs.client.stale_attr_hits",
+                "attr_checks": checks,
+                "stale_attr_hits": stale,
+                "stale_rate": rate,
+                "acregmax_s": acregmax,
+                "context": context,
+                "warning_threshold": STALE_WARNING,
+                "critical_threshold": STALE_CRITICAL,
+            })]

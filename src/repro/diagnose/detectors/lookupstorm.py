@@ -1,0 +1,83 @@
+"""Lookup storms: every path walk re-pays its LOOKUP RPCs.
+
+§8's closing argument: NFS benchmarks that stream a few big files
+never exercise the namespace, so they cannot see the trap that
+dominates metadata-heavy workloads — a client whose directory-name
+cache keeps missing pays one LOOKUP RPC *per path component per walk*.
+A 10k-file flat directory walked with a cold (or too-short-lived,
+``acdirmax`` ≈ 0) lookup cache turns each ``stat()`` into a storm of
+round trips, and the benchmark ends up measuring RPC latency times
+path depth rather than the server.
+
+Signature: LOOKUP RPCs per path walk well above one, while the
+client's lookup-cache hit rate per component stays low.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..inputs import DiagnosisInputs
+from ..report import Finding
+from .base import TrapDetector
+
+#: LOOKUP RPCs per path walk that indicate a storm.
+AMPLIFICATION_WARNING = 2.0
+AMPLIFICATION_CRITICAL = 8.0
+#: A storm requires the cache to actually be missing.
+MAX_HIT_RATE = 0.5
+#: Below this many walks, amplification is noise.
+MIN_WALKS = 50
+
+
+class LookupStormDetector(TrapDetector):
+
+    name = "lookupstorm"
+    trap = "per-component LOOKUP storms from a cold name cache"
+    paper_section = "§8"
+
+    def detect(self, inputs: DiagnosisInputs) -> List[Finding]:
+        worst: Optional[Tuple[float, ...]] = None
+        for snapshot in inputs.snapshots:
+            walks = inputs.gauge(snapshot, "nfs.client.path_walks")
+            rpcs = inputs.gauge(snapshot, "nfs.client.lookup_rpcs")
+            components = inputs.gauge(snapshot,
+                                      "nfs.client.path_components")
+            hits = inputs.gauge(snapshot, "nfs.client.lookup_cache_hits")
+            if walks < MIN_WALKS or components <= 0:
+                continue
+            amplification = rpcs / walks
+            hit_rate = hits / components
+            if amplification < AMPLIFICATION_WARNING \
+                    or hit_rate > MAX_HIT_RATE:
+                continue
+            if worst is None or amplification > worst[0]:
+                context = snapshot.get("_context") or {}
+                acdirmax = inputs.gauge(snapshot, "nfs.mount.acdirmax")
+                worst = (amplification, walks, rpcs, hit_rate,
+                         acdirmax, context)
+        if worst is None:
+            return []
+        amplification, walks, rpcs, hit_rate, acdirmax, context = worst
+        severity = "critical" if amplification >= AMPLIFICATION_CRITICAL \
+            else "warning"
+        return [self.finding(
+            severity=severity,
+            magnitude=amplification,
+            message=(f"{rpcs:.0f} LOOKUP RPCs for {walks:.0f} path walks "
+                     f"({amplification:.1f} per walk) with a "
+                     f"{hit_rate:.0%} name-cache hit rate "
+                     f"(acdirmax={acdirmax:.0f}s): the run is paying "
+                     f"per-component round trips, so it measures RPC "
+                     f"latency × path depth, not the server"),
+            evidence={
+                "metric": "nfs.client.lookup_rpcs",
+                "path_walks": walks,
+                "lookup_rpcs": rpcs,
+                "rpcs_per_walk": amplification,
+                "lookup_cache_hit_rate": hit_rate,
+                "acdirmax_s": acdirmax,
+                "context": context,
+                "warning_threshold": AMPLIFICATION_WARNING,
+                "critical_threshold": AMPLIFICATION_CRITICAL,
+            })]

@@ -1,0 +1,84 @@
+"""READDIR chunking: huge directories listed one small RPC at a time.
+
+§8: directory size is a hidden benchmark parameter.  A READDIR reply
+carries at most ``readdir_count`` bytes of entries, so listing a flat
+50k-file spool directory with the default reply size costs hundreds of
+sequential round trips — and if the directory mutates mid-listing, the
+cookie verifier changes and the client restarts the listing from
+scratch, repaying everything already transferred.  Benchmarks built on
+small directories never see either cost.
+
+Signature: many READDIR RPCs per logical listing, escalated when
+cookie-verifier mismatches forced whole listings to restart.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..inputs import DiagnosisInputs
+from ..report import Finding
+from .base import TrapDetector
+
+#: READDIR RPCs per logical listing that indicate chunking pain.
+CHUNKS_WARNING = 8.0
+CHUNKS_CRITICAL = 32.0
+#: Below this many listings, a chunk ratio is noise.
+MIN_LISTINGS = 10
+
+
+class ReaddirChunkingDetector(TrapDetector):
+
+    name = "readdir"
+    trap = "READDIR chunking and cookie-verifier restarts"
+    paper_section = "§8"
+
+    def detect(self, inputs: DiagnosisInputs) -> List[Finding]:
+        worst: Optional[Tuple[float, ...]] = None
+        for snapshot in inputs.snapshots:
+            listings = inputs.gauge(snapshot,
+                                    "nfs.client.readdir_listings")
+            rpcs = inputs.gauge(snapshot, "nfs.client.readdir_rpcs")
+            restarts = inputs.gauge(snapshot,
+                                    "nfs.client.readdir_restarts")
+            if listings < MIN_LISTINGS:
+                continue
+            chunks = rpcs / listings
+            if chunks < CHUNKS_WARNING and restarts == 0:
+                continue
+            if worst is None or chunks > worst[0]:
+                entries = inputs.gauge(snapshot,
+                                       "nfs.client.readdir_entries")
+                count = inputs.gauge(snapshot, "nfs.mount.readdir_count")
+                context = snapshot.get("_context") or {}
+                worst = (chunks, listings, rpcs, restarts, entries,
+                         count, context)
+        if worst is None:
+            return []
+        chunks, listings, rpcs, restarts, entries, count, context = worst
+        severity = "critical" if chunks >= CHUNKS_CRITICAL \
+            or restarts > 0 else "warning"
+        restart_note = (f"; {restarts:.0f} listing(s) restarted after "
+                        f"cookie-verifier mismatches, repaying entries "
+                        f"already transferred") if restarts else ""
+        return [self.finding(
+            severity=severity,
+            magnitude=chunks,
+            message=(f"{rpcs:.0f} READDIR RPCs for {listings:.0f} "
+                     f"listings ({chunks:.1f} chunks each, "
+                     f"{entries:.0f} entries, readdir_count="
+                     f"{count:.0f}B){restart_note}: directory size is "
+                     f"acting as a hidden benchmark parameter — report "
+                     f"it, or raise the reply size"),
+            evidence={
+                "metric": "nfs.client.readdir_rpcs",
+                "readdir_listings": listings,
+                "readdir_rpcs": rpcs,
+                "rpcs_per_listing": chunks,
+                "readdir_entries": entries,
+                "readdir_restarts": restarts,
+                "readdir_count_bytes": count,
+                "context": context,
+                "warning_threshold": CHUNKS_WARNING,
+                "critical_threshold": CHUNKS_CRITICAL,
+            })]

@@ -63,4 +63,4 @@ def _ensure_loaded() -> None:
                    fig4_nfs_udp, fig5_nfs_tcp, fig6_readahead_potential,
                    fig7_slowdown_nfsheur, fig8_stride, table1_stride,
                    xaged_fs, xfaults_degradation, xlossy_network,
-                   xmixed_workload, xreplay)
+                   xmixed_workload, xnamespace, xreplay)

@@ -1,9 +1,10 @@
-"""An FFS-like file system: allocation, inodes, and the read path."""
+"""An FFS-like file system: allocation, inodes, namespace, read path."""
 
 from .allocator import (AllocationError, DEFAULT_BLOCK_SIZE,
                         SequentialAllocator)
 from .filesystem import FfsParams, FileHandle, FileSystem
 from .inode import Extent, Inode
+from .namespace import DIRENT_BYTES, Directory, Namespace, split_path
 
 __all__ = [
     "FileSystem",
@@ -14,4 +15,8 @@ __all__ = [
     "SequentialAllocator",
     "AllocationError",
     "DEFAULT_BLOCK_SIZE",
+    "Namespace",
+    "Directory",
+    "DIRENT_BYTES",
+    "split_path",
 ]

@@ -23,6 +23,13 @@ from .inode import Extent, Inode
 
 DEFAULT_BLOCK_SIZE = 8 * 1024
 
+#: Directory inodes number from here; regular files keep the dense
+#: 2, 3, 4, … sequence.  The nfsheur table hashes the handle id, so
+#: giving directories their own number space means mounting a namespace
+#: on top of an existing flat fileset cannot move any file's heuristic
+#: slot.
+DIR_INODE_BASE = 1 << 31
+
 
 class AllocationError(Exception):
     """The partition is full (or too fragmented to satisfy a request)."""
@@ -59,6 +66,14 @@ class SequentialAllocator:
         #: function of its config and seed (and lets ``--jobs`` parallel
         #: repeats reproduce serial output byte for byte).
         self._inode_numbers = itertools.count(2)
+        #: Directory metadata: separate number space (see
+        #: :data:`DIR_INODE_BASE`) and a block region growing *down*
+        #: from the end of the partition — a stand-in for FFS keeping
+        #: directories in their own cylinder-group region.  Data files
+        #: land on exactly the blocks a namespace-free file system
+        #: would have given them, so growing a directory tree never
+        #: relocates anyone's data.
+        self._dir_inode_numbers = itertools.count(DIR_INODE_BASE)
 
         first = -(-partition.first_lba // self.sectors_per_block)
         last = partition.end_lba // self.sectors_per_block
@@ -103,3 +118,55 @@ class SequentialAllocator:
                                        self._end_block)
         return Inode(name=name, size=size, extents=extents,
                      number=next(self._inode_numbers))
+
+    def extend(self, inode: Inode, nblocks: int = 1) -> None:
+        """Grow ``inode`` by ``nblocks`` freshly allocated blocks.
+
+        Used by growing directories: a directory that overflows its
+        data blocks gets another one appended at the current allocation
+        frontier (first-fit, like every other allocation here), which
+        is also how a real aging FFS ends up with directory blocks
+        scattered away from the inode.
+        """
+        if nblocks < 1:
+            raise ValueError("must extend by at least one block")
+        if nblocks > self.free_blocks:
+            raise AllocationError(
+                f"partition {self.partition.name} full extending "
+                f"{inode.name} ({nblocks} blocks, "
+                f"{self.free_blocks} free)")
+        extent = Extent(file_block=inode.nblocks,
+                        disk_block=self._next_block, nblocks=nblocks)
+        self._next_block += nblocks
+        inode.extents.append(extent)
+        inode.size += nblocks * self.block_size
+
+    # ------------------------------------------------------------------
+    # Directory metadata (the region at the end of the partition)
+    # ------------------------------------------------------------------
+
+    def _take_meta_blocks(self, nblocks: int, name: str) -> int:
+        if nblocks > self.free_blocks:
+            raise AllocationError(
+                f"partition {self.partition.name} full allocating "
+                f"directory {name} ({nblocks} blocks, "
+                f"{self.free_blocks} free)")
+        self._end_block -= nblocks
+        return self._end_block
+
+    def allocate_dir(self, name: str) -> Inode:
+        """Allocate a one-block directory inode in the metadata region."""
+        disk_block = self._take_meta_blocks(1, name)
+        extent = Extent(file_block=0, disk_block=disk_block, nblocks=1)
+        return Inode(name=name, size=self.block_size, extents=[extent],
+                     number=next(self._dir_inode_numbers))
+
+    def extend_dir(self, inode: Inode, nblocks: int = 1) -> None:
+        """Grow a directory by ``nblocks`` metadata-region blocks."""
+        if nblocks < 1:
+            raise ValueError("must extend by at least one block")
+        disk_block = self._take_meta_blocks(nblocks, inode.name)
+        inode.extents.append(Extent(file_block=inode.nblocks,
+                                    disk_block=disk_block,
+                                    nblocks=nblocks))
+        inode.size += nblocks * self.block_size

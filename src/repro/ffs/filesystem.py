@@ -30,6 +30,7 @@ from ..readahead import (DefaultHeuristic, Heuristic, ReadState,
 from ..sim import Simulator
 from .allocator import SequentialAllocator
 from .inode import Inode
+from .namespace import Namespace
 
 
 @dataclass(frozen=True)
@@ -81,7 +82,11 @@ class FileSystem:
         if self.params.block_size != cache.block_size:
             raise ValueError("file system and cache block sizes differ")
         self.heuristic: Heuristic = heuristic or DefaultHeuristic()
-        self.files = {}
+        #: The hierarchical directory tree; ``files`` is its flat view
+        #: (full path -> inode of every regular file), preserving the
+        #: original flat-namespace API for all existing callers.
+        self.namespace = Namespace(self)
+        self.files = self.namespace.files
         #: Time a read spends parked on buffer-cache fill events.
         self._m_cache_wait = sim.obs.registry.histogram("ffs.cache_wait_s")
 
@@ -90,12 +95,18 @@ class FileSystem:
     # ------------------------------------------------------------------
 
     def create_file(self, name: str, size: int) -> Inode:
-        """Allocate a file filled with (simulated) non-zero data."""
+        """Allocate a file filled with (simulated) non-zero data.
+
+        ``name`` may be a ``/``-separated path; missing intermediate
+        directories are created (replayed traces re-export nested
+        filesets this way).
+        """
         if name in self.files:
             raise ValueError(f"file {name!r} already exists")
-        inode = self.allocator.allocate(name, size)
-        self.files[name] = inode
-        return inode
+        parts = name.split("/")
+        if len(parts) > 1:
+            self.namespace.makedirs("/".join(parts[:-1]))
+        return self.namespace.create(name, size)
 
     def lookup(self, name: str) -> Inode:
         try:

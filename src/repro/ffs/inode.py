@@ -37,12 +37,22 @@ class Extent:
 
 @dataclass
 class Inode:
-    """A file: name, logical size, and its extent map."""
+    """A file: name, logical size, and its extent map.
+
+    ``mtime``/``ctime`` carry NFSv3 attribute semantics (RFC 1813
+    fattr3): data writes and directory mutations stamp ``mtime``,
+    metadata changes stamp ``ctime``.  Both default to 0.0 — structural
+    tree building at t=0 leaves them there, so a freshly exported tree
+    is maximally old (and the client attribute cache starts at its
+    longest timeout, exactly like a just-mounted real file system).
+    """
 
     name: str
     size: int
     extents: List[Extent] = field(default_factory=list)
     number: int = field(default_factory=lambda: next(_inode_numbers))
+    mtime: float = 0.0
+    ctime: float = 0.0
 
     def __post_init__(self):
         if self.size < 0:

@@ -109,6 +109,19 @@ class TestbedConfig:
     #: uncommitted write acked under the old boot.  Off reproduces the
     #: classic lost-acked-data bug the chaos oracles exist to catch.
     mount_verifier_recovery: bool = True
+    #: Client attribute-cache windows (the ``acregmin``/``acregmax``/
+    #: ``acdirmin``/``acdirmax`` mount options).  ``acregmax=0``
+    #: disables file-attribute caching; ``acdirmax=0`` disables the
+    #: name cache's validity window (every component re-LOOKUPs).
+    acregmin: float = 3.0
+    acregmax: float = 60.0
+    acdirmin: float = 30.0
+    acdirmax: float = 60.0
+    #: Close-to-open consistency (off = the ``nocto`` mount flag).
+    close_to_open: bool = True
+    #: READDIR byte budget per RPC and READDIRPLUS selection.
+    readdir_count: int = 8 * 1024
+    readdirplus: bool = False
     seed: int = 0
 
     def fs_label(self) -> str:
@@ -300,9 +313,20 @@ class NfsTestbed(LocalTestbed):
                     soft=config.mount_soft,
                     timeo=config.mount_timeo,
                     retrans=config.mount_retrans,
-                    verifier_recovery=config.mount_verifier_recovery),
+                    verifier_recovery=config.mount_verifier_recovery,
+                    acregmin=config.acregmin,
+                    acregmax=config.acregmax,
+                    acdirmin=config.acdirmin,
+                    acdirmax=config.acdirmax,
+                    close_to_open=config.close_to_open,
+                    readdir_count=config.readdir_count,
+                    readdirplus=config.readdirplus),
                 name=f"mnt{index}",
                 capture=self.capture, client_index=index)
+            #: Staleness ground truth for the attr-cache trap detector:
+            #: pure bookkeeping against server state, so wiring it
+            #: unconditionally cannot perturb timing.
+            mount.attr_oracle = self._attr_oracle
             self.client_machines.append(machine)
             self.mounts.append(mount)
             self.rpc_clients.append(rpc_client)
@@ -370,6 +394,45 @@ class NfsTestbed(LocalTestbed):
             "net.tcp.segment_retransmits",
             lambda: float(sum(getattr(ep, "retransmits", 0)
                               for ep in endpoints)))
+        # Namespace path: the metadata-trap detectors' evidence base.
+        config = self.config
+        for stat_name in ("path_walks", "path_components", "lookup_rpcs",
+                          "lookup_cache_hits", "attr_hits", "attr_misses",
+                          "attr_checks", "stale_attr_hits", "cto_getattrs",
+                          "readdir_listings", "readdir_rpcs",
+                          "readdir_entries", "readdir_restarts"):
+            registry.gauge(
+                f"nfs.client.{stat_name}",
+                lambda s=stat_name: float(sum(
+                    getattr(m.stats, s) for m in mounts)))
+        for stat_name in ("lookups", "lookup_misses", "readdirs",
+                          "readdir_entries", "creates", "mkdirs",
+                          "removes", "renames", "setattrs",
+                          "stale_handles", "bad_cookies"):
+            registry.gauge(
+                f"nfs.server.{stat_name}",
+                lambda s=stat_name: float(getattr(server.stats, s)))
+        # Static mount configuration the detectors cite as settings.
+        registry.gauge("nfs.mount.acregmax", lambda: config.acregmax)
+        registry.gauge("nfs.mount.acdirmax", lambda: config.acdirmax)
+        registry.gauge("nfs.mount.readdir_count",
+                       lambda: float(config.readdir_count))
+        registry.gauge("nfs.mount.close_to_open",
+                       lambda: 1.0 if config.close_to_open else 0.0)
+
+    def _attr_oracle(self, fh, attrs) -> bool:
+        """True when cached attributes disagree with server truth.
+
+        Called by mounts on every attr-cache hit; reads server state
+        only (no events, no RNG), preserving the no-perturbation
+        invariant.
+        """
+        from ..ffs import Directory
+        node = self.server._by_fh.get(fh)
+        if node is None:
+            return True     # the file is gone; any cached attrs lie
+        inode = node.inode if isinstance(node, Directory) else node
+        return inode.mtime != attrs.mtime or inode.size != attrs.size
 
     def _rpc_policy(self, config: TestbedConfig, index: int,
                     needs_timer: bool) -> dict:

@@ -97,6 +97,41 @@ class BufferCache:
         """
         return blkno in self._entries
 
+    def touch(self, blkno: int) -> bool:
+        """Count a hit on a resident block without creating an event.
+
+        Returns ``True`` (and refreshes the block's LRU position) when
+        the block is ready; ``False`` when it is absent or in flight.
+        The warm-metadata fast path: a namei that hits the cache costs
+        only CPU, and — unlike :meth:`read`, which always yields at
+        least one (already-fired) event — this cannot perturb event
+        ordering in the simulation.
+        """
+        entry = self._entries.get(blkno)
+        if entry is None or entry.state != _Entry.READY:
+            return False
+        self.stats.hits += 1
+        self._entries.move_to_end(blkno)
+        return True
+
+    def install(self, start_blkno: int, nblocks: int = 1) -> None:
+        """Insert blocks as resident and *clean*, free of charge.
+
+        Models data the kernel just produced and already has in memory
+        — freshly written directory blocks at mkfs/export time.  No
+        events, no stats, no dirty marking; ``crash()``/``flush()``
+        drop these like any other clean block.
+        """
+        if nblocks < 1:
+            raise ValueError("must install at least one block")
+        for blkno in range(start_blkno, start_blkno + nblocks):
+            entry = self._entries.get(blkno)
+            if entry is None or entry.state != _Entry.READY:
+                self._entries[blkno] = _Entry(_Entry.READY, None)
+            else:
+                self._entries.move_to_end(blkno)
+        self._evict_overflow()
+
     @property
     def cached_blocks(self) -> int:
         return len(self._entries)

@@ -29,13 +29,18 @@ from ..net.rpc import RpcClient, RpcTimeout
 from ..readahead import (DefaultHeuristic, Heuristic, ReadState,
                          readahead_blocks)
 from ..sim import Event, Resource, Simulator
-from ..trace.records import (OP_COMMIT, OP_GETATTR, OP_OPEN, OP_READ,
-                             OP_WRITE)
-from .errors import NfsTimeoutError
+from ..trace.records import (OP_COMMIT, OP_CREATE, OP_GETATTR, OP_MKDIR,
+                             OP_OPEN, OP_READ, OP_READDIR, OP_REMOVE,
+                             OP_RENAME, OP_SETATTR, OP_STAT, OP_WRITE)
+from .errors import NfsBadCookieError, NfsTimeoutError, raise_for_status
 from .fhandle import FileHandle
-from .protocol import (CommitReply, CommitRequest, LookupReply,
-                       LookupRequest, NFS_READ_SIZE, ReadReply,
-                       ReadRequest, WriteReply, WriteRequest)
+from .protocol import (CommitReply, CommitRequest, CreateRequest,
+                       Fattr, GetattrRequest, LookupReply,
+                       LookupRequest, MkdirRequest, NFS_OK,
+                       NFS_READ_SIZE, READDIR_DEFAULT_COUNT,
+                       ReaddirRequest, ReadReply, ReadRequest,
+                       RemoveRequest, RenameRequest, SetattrRequest,
+                       WriteReply, WriteRequest)
 
 
 @dataclass
@@ -75,6 +80,26 @@ class NfsMountConfig:
     #: Extra per-call CPU on the TCP path (stream handling, RPC record
     #: marking) — TCP is the heavier transport end to end.
     tcp_extra_cpu: float = 0.00010
+    #: Attribute-cache windows (``acregmin``/``acregmax`` for files,
+    #: ``acdirmin``/``acdirmax`` for directories): cached attributes
+    #: live for ``clamp((now - mtime)/10, acmin, acmax)`` seconds, the
+    #: classic heuristic.  ``acregmax=0`` disables file attribute
+    #: caching (``noac``-for-files); ``acdirmax=0`` disables the name
+    #: cache's validity window, forcing a LOOKUP per component — the
+    #: lookup-storm configuration.
+    acregmin: float = 3.0
+    acregmax: float = 60.0
+    acdirmin: float = 30.0
+    acdirmax: float = 60.0
+    #: Close-to-open consistency: re-GETATTR on every open whose handle
+    #: came from the name cache, discarding cached data if the file
+    #: changed.  This is the real client's default; turning it off
+    #: trades correctness for fewer GETATTRs (the ``nocto`` mount flag).
+    close_to_open: bool = True
+    #: READDIR reply byte budget per RPC (the chunking knob) and
+    #: whether to use READDIRPLUS (entries carry attrs + handles).
+    readdir_count: int = READDIR_DEFAULT_COUNT
+    readdirplus: bool = False
 
 
 @dataclass
@@ -97,6 +122,36 @@ class NfsMountStats:
     commit_retries: int = 0
     #: Verifier changes observed (server reboots this client noticed).
     server_reboots_observed: int = 0
+    # -- namespace path ------------------------------------------------
+    #: Path resolutions started / components walked in them.
+    path_walks: int = 0
+    path_components: int = 0
+    #: LOOKUP RPCs sent vs components served by the name cache (dnlc).
+    lookup_rpcs: int = 0
+    lookup_cache_hits: int = 0
+    #: Attribute-cache hits / misses (path-based ``stat``); every
+    #: cache consultation that answered (stat *and* walk-time), and
+    #: the subset whose answer disagreed with server truth (counted by
+    #: the testbed's zero-perturbation oracle) — the staleness rate is
+    #: ``stale_attr_hits / attr_checks``.
+    attr_hits: int = 0
+    attr_misses: int = 0
+    attr_checks: int = 0
+    stale_attr_hits: int = 0
+    #: GETATTRs forced by close-to-open consistency on open().
+    cto_getattrs: int = 0
+    #: Directory listings completed / READDIR RPCs they took / entries
+    #: returned / listings restarted after a ``bad_cookie``.
+    readdir_listings: int = 0
+    readdir_rpcs: int = 0
+    readdir_entries: int = 0
+    readdir_restarts: int = 0
+    #: Namespace mutations issued.
+    creates: int = 0
+    mkdirs: int = 0
+    removes: int = 0
+    renames: int = 0
+    setattrs: int = 0
 
 
 class _PendingWrite:
@@ -182,6 +237,20 @@ class NfsMount:
         #: Monotone content-token generator for this mount's writes
         #: (client_index spreads mounts into disjoint token spaces).
         self._write_gen = client_index * 1_000_000
+        #: Attribute cache: fh.id -> (attrs, expires).  An entry is
+        #: honoured strictly while ``now < expires``.
+        self._attrs: Dict[int, Tuple[Fattr, float]] = {}
+        #: Name cache (dnlc): (parent fh.id, name) -> (fh, expires).
+        self._dnlc: Dict[Tuple[int, str], Tuple[FileHandle, float]] = {}
+        #: The export root's handle (fetched on first use — the mount
+        #: handshake).
+        self._root_fh: Optional[FileHandle] = None
+        #: Optional staleness oracle, called on every attribute-cache
+        #: hit with ``(fh, cached_attrs)``; returns True if the cached
+        #: attributes disagree with server truth.  Set by the testbed;
+        #: pure bookkeeping (no simulation events), so it cannot
+        #: perturb timing — the datum-token discipline.
+        self.attr_oracle = None
 
     # ------------------------------------------------------------------
 
@@ -214,18 +283,29 @@ class NfsMount:
         return reply
 
     def open(self, name: str, span=None):
-        """LOOKUP a file (generator; returns an :class:`NfsFile`)."""
+        """Resolve a path and open it (generator; returns
+        :class:`NfsFile`).
+
+        Resolution walks the path component by component through the
+        name cache; **close-to-open consistency** forces a fresh GETATTR
+        whenever the final handle came from the cache, and drops cached
+        data blocks if the file's mtime moved — opening a file always
+        observes the last close's writes.
+        """
         if self.capture is not None:
             self.capture.record(self.sim.now, self.client_index,
                                 OP_OPEN, name)
-        started = self.sim.now
-        yield from self.machine.execute(self.config.marshal_cpu)
-        self._m_cpu.observe(self.sim.now - started)
-        request = LookupRequest(name)
-        reply = yield from self._call(request, parent=span)
-        if not isinstance(reply, LookupReply):
-            raise TypeError(f"bad LOOKUP reply {reply!r}")
-        return NfsFile(reply.fh, reply.size, name=name)
+        fh, size, from_cache = yield from self._walk(name, span=span)
+        if from_cache and (self.config.close_to_open or size is None):
+            old = self._attrs.get(fh.id)
+            old_mtime = old[0].mtime if old is not None else None
+            if self.config.close_to_open:
+                self.stats.cto_getattrs += 1
+            attrs = yield from self._getattr_rpc(fh, span=span)
+            if old_mtime is not None and attrs.mtime != old_mtime:
+                self._drop_cached_blocks(fh)
+            size = attrs.size
+        return NfsFile(fh, size, name=name)
 
     def read(self, nfile: NfsFile, offset: int, nbytes: int, span=None):
         """Application read (generator; returns bytes read).
@@ -551,6 +631,364 @@ class NfsMount:
         return reply.size
 
     # ------------------------------------------------------------------
+    # Namespace path: attr cache, name cache (dnlc), and the verbs
+    # ------------------------------------------------------------------
+
+    def _attr_window(self, attrs: Fattr) -> float:
+        """Seconds the given attributes may be cached: the classic
+        ``clamp((now - mtime)/10, acmin, acmax)`` heuristic (recently
+        changed files are re-checked sooner).  0 = do not cache."""
+        config = self.config
+        if attrs.ftype == "dir":
+            acmin, acmax = config.acdirmin, config.acdirmax
+        else:
+            acmin, acmax = config.acregmin, config.acregmax
+        if acmax <= 0:
+            return 0.0
+        age = max(0.0, self.sim.now - attrs.mtime)
+        return min(max(age / 10.0, acmin), acmax)
+
+    def _store_attrs(self, fh: FileHandle, attrs: Fattr) -> None:
+        window = self._attr_window(attrs)
+        if window <= 0:
+            self._attrs.pop(fh.id, None)
+            return
+        self._attrs[fh.id] = (attrs, self.sim.now + window)
+
+    def _cached_attrs(self, fh: FileHandle) -> Optional[Fattr]:
+        """Valid cached attributes for ``fh``, or None.
+
+        Every hit is shown to the testbed's staleness oracle (pure
+        bookkeeping) — the evidence the attr-cache trap detector cites.
+        """
+        entry = self._attrs.get(fh.id)
+        if entry is None or self.sim.now >= entry[1]:
+            return None
+        attrs = entry[0]
+        self.stats.attr_checks += 1
+        if self.attr_oracle is not None and self.attr_oracle(fh, attrs):
+            self.stats.stale_attr_hits += 1
+        return attrs
+
+    def _store_dnlc(self, parent_key: int, name: str, fh: FileHandle,
+                    dir_attrs: Optional[Fattr]) -> None:
+        """Cache one name->handle binding, valid for the parent
+        directory's attribute window (``acdirmax=0`` disables)."""
+        config = self.config
+        if config.acdirmax <= 0:
+            return
+        age = max(0.0, self.sim.now - (dir_attrs.mtime
+                                       if dir_attrs is not None else 0.0))
+        window = min(max(age / 10.0, config.acdirmin), config.acdirmax)
+        self._dnlc[(parent_key, name)] = (fh, self.sim.now + window)
+
+    def _drop_cached_blocks(self, fh: FileHandle) -> None:
+        """Invalidate cached data of one file (leave in-flight fetches)."""
+        self._cache = {key: value for key, value in self._cache.items()
+                       if key[0] != fh.id or value != "ready"}
+
+    def _lookup_rpc(self, name: str, dir_fh: Optional[FileHandle],
+                    span=None):
+        """One LOOKUP round trip; primes attr + name caches
+        (generator; returns the reply)."""
+        started = self.sim.now
+        yield from self.machine.execute(self.config.marshal_cpu)
+        self._m_cpu.observe(self.sim.now - started)
+        request = LookupRequest(name, dir=dir_fh)
+        reply = yield from self._call(request, parent=span)
+        if not isinstance(reply, LookupReply):
+            raise TypeError(f"bad LOOKUP reply {reply!r}")
+        self.stats.lookup_rpcs += 1
+        raise_for_status(reply.status, f"LOOKUP {name!r}")
+        if reply.attributes is not None:
+            self._store_attrs(reply.fh, reply.attributes)
+        if reply.dir_attributes is not None and dir_fh is not None:
+            self._store_attrs(dir_fh, reply.dir_attributes)
+        if name and "/" not in name:
+            parent_key = dir_fh.id if dir_fh is not None else -1
+            self._store_dnlc(parent_key, name, reply.fh,
+                             reply.dir_attributes)
+        return reply
+
+    def _walk(self, path: str, span=None):
+        """Per-component path resolution through the name cache
+        (generator; returns ``(fh, size-or-None, last_from_cache)``).
+
+        A cached component costs nothing; a miss is one LOOKUP RPC.
+        ``last_from_cache`` tells open() whether close-to-open must
+        re-validate.  ``size`` is None when the final hop was served by
+        the name cache but its attributes have expired.
+        """
+        components = [p for p in path.split("/") if p]
+        self.stats.path_walks += 1
+        self.stats.path_components += len(components)
+        if not components:
+            # The export root (the mount handshake, cached thereafter).
+            if self._root_fh is not None:
+                attrs = self._cached_attrs(self._root_fh)
+                if attrs is not None:
+                    self.stats.lookup_cache_hits += 1
+                    return self._root_fh, attrs.size, True
+            reply = yield from self._lookup_rpc("", None, span=span)
+            self._root_fh = reply.fh
+            return reply.fh, reply.size, False
+        parent: Optional[FileHandle] = None
+        fh: Optional[FileHandle] = None
+        size: Optional[int] = None
+        from_cache = False
+        for part in components:
+            parent_key = parent.id if parent is not None else -1
+            cached = self._dnlc.get((parent_key, part))
+            if cached is not None and self.sim.now < cached[1]:
+                fh = cached[0]
+                self.stats.lookup_cache_hits += 1
+                from_cache = True
+                attrs = self._cached_attrs(fh)
+                size = attrs.size if attrs is not None else None
+            else:
+                reply = yield from self._lookup_rpc(part, parent,
+                                                    span=span)
+                fh = reply.fh
+                size = reply.size
+                from_cache = False
+            parent = fh
+        return fh, size, from_cache
+
+    def _getattr_rpc(self, fh: FileHandle, span=None):
+        """GETATTR by handle; refreshes the attr cache (generator)."""
+        started = self.sim.now
+        yield from self.machine.execute(self.config.marshal_cpu)
+        self._m_cpu.observe(self.sim.now - started)
+        request = GetattrRequest(fh=fh)
+        reply = yield from self._call(request, parent=span)
+        raise_for_status(reply.status, "GETATTR")
+        attrs = reply.attributes
+        if attrs is None:
+            attrs = Fattr(fileid=fh.id, ftype="reg", size=reply.size,
+                          mtime=0.0, ctime=0.0)
+        self._store_attrs(fh, attrs)
+        return attrs
+
+    def _parent_and_leaf(self, path: str):
+        components = [p for p in path.split("/") if p]
+        if not components:
+            raise ValueError(f"path {path!r} has no leaf")
+        return "/".join(components[:-1]), components[-1]
+
+    def stat(self, path: str, span=None):
+        """Path-based attribute fetch (generator; returns
+        :class:`Fattr`) — ``stat(2)`` over the mount.
+
+        A warm walk answers entirely from the name + attribute caches
+        with **zero RPCs**; that economy is also exactly where stale
+        attributes hide (the §8-style metadata trap the attr-cache
+        detector looks for).
+        """
+        if self.capture is not None:
+            self.capture.record(self.sim.now, self.client_index,
+                                OP_STAT, path)
+        fh, _size, _cached = yield from self._walk(path, span=span)
+        attrs = self._cached_attrs(fh)
+        if attrs is not None:
+            self.stats.attr_hits += 1
+            return attrs
+        self.stats.attr_misses += 1
+        attrs = yield from self._getattr_rpc(fh, span=span)
+        return attrs
+
+    def readdir(self, path: str, span=None,
+                plus: Optional[bool] = None):
+        """List a directory (generator; returns names in slot order).
+
+        Chunked by ``config.readdir_count`` bytes per RPC; a
+        ``bad_cookie`` reply (the directory mutated under the listing)
+        restarts the listing from scratch, like the real client.
+        READDIRPLUS replies prime the attribute and name caches.
+        """
+        if self.capture is not None:
+            self.capture.record(self.sim.now, self.client_index,
+                                OP_READDIR, path)
+        if plus is None:
+            plus = self.config.readdirplus
+        fh, _size, _cached = yield from self._walk(path, span=span)
+        restarts = 0
+        while True:
+            names = []
+            cookie = 0
+            verf = 0
+            restarted = False
+            while True:
+                started = self.sim.now
+                yield from self.machine.execute(self.config.marshal_cpu)
+                self._m_cpu.observe(self.sim.now - started)
+                request = ReaddirRequest(
+                    dir=fh, cookie=cookie, cookieverf=verf,
+                    count=self.config.readdir_count, plus=plus)
+                reply = yield from self._call(request, parent=span)
+                self.stats.readdir_rpcs += 1
+                if reply.status == "bad_cookie":
+                    self.stats.readdir_restarts += 1
+                    restarts += 1
+                    if restarts > 8:
+                        raise NfsBadCookieError(
+                            f"READDIR {path}: directory keeps mutating")
+                    restarted = True
+                    break
+                raise_for_status(reply.status, f"READDIR {path}")
+                verf = reply.cookieverf
+                for entry in reply.entries:
+                    names.append(entry.name)
+                    cookie = entry.cookie
+                    if plus and entry.fh is not None \
+                            and entry.attributes is not None:
+                        self._store_attrs(entry.fh, entry.attributes)
+                        self._store_dnlc(fh.id, entry.name, entry.fh,
+                                         reply.dir_attributes)
+                if reply.eof:
+                    break
+            if not restarted:
+                break
+        self.stats.readdir_listings += 1
+        self.stats.readdir_entries += len(names)
+        return names
+
+    def create(self, path: str, size: int = NFS_READ_SIZE,
+               exclusive: bool = False, span=None):
+        """CREATE a file (generator; returns :class:`NfsFile`).
+
+        UNCHECKED by default: an existing file is simply opened, which
+        keeps replayed (and dupreq-missed retried) creates idempotent.
+        """
+        if self.capture is not None:
+            self.capture.record(self.sim.now, self.client_index,
+                                OP_CREATE, path, 0, size)
+        parent_path, leaf = self._parent_and_leaf(path)
+        dir_fh, _size, _cached = yield from self._walk(parent_path,
+                                                       span=span)
+        started = self.sim.now
+        yield from self.machine.execute(self.config.marshal_cpu)
+        self._m_cpu.observe(self.sim.now - started)
+        request = CreateRequest(dir=dir_fh, name=leaf, size=size,
+                                exclusive=exclusive)
+        reply = yield from self._call(request, parent=span)
+        raise_for_status(reply.status, f"CREATE {path}")
+        self.stats.creates += 1
+        if reply.dir_wcc is not None and reply.dir_wcc.after is not None:
+            self._store_attrs(dir_fh, reply.dir_wcc.after)
+        attrs = reply.attributes
+        if attrs is not None:
+            self._store_attrs(reply.fh, attrs)
+        self._store_dnlc(dir_fh.id, leaf, reply.fh,
+                         reply.dir_wcc.after if reply.dir_wcc else None)
+        return NfsFile(reply.fh, attrs.size if attrs else size,
+                       name=path)
+
+    def mkdir(self, path: str, span=None):
+        """MKDIR (generator; returns the directory's handle).
+
+        An existing directory is tolerated (``mkdir -p`` semantics),
+        which also makes retried/replayed mkdirs idempotent.
+        """
+        if self.capture is not None:
+            self.capture.record(self.sim.now, self.client_index,
+                                OP_MKDIR, path)
+        parent_path, leaf = self._parent_and_leaf(path)
+        dir_fh, _size, _cached = yield from self._walk(parent_path,
+                                                       span=span)
+        started = self.sim.now
+        yield from self.machine.execute(self.config.marshal_cpu)
+        self._m_cpu.observe(self.sim.now - started)
+        request = MkdirRequest(dir=dir_fh, name=leaf)
+        reply = yield from self._call(request, parent=span)
+        if not (reply.status == "exist" and reply.fh is not None):
+            raise_for_status(reply.status, f"MKDIR {path}")
+        self.stats.mkdirs += 1
+        if reply.dir_wcc is not None and reply.dir_wcc.after is not None:
+            self._store_attrs(dir_fh, reply.dir_wcc.after)
+        if reply.attributes is not None:
+            self._store_attrs(reply.fh, reply.attributes)
+        self._store_dnlc(dir_fh.id, leaf, reply.fh,
+                         reply.dir_wcc.after if reply.dir_wcc else None)
+        return reply.fh
+
+    def remove(self, path: str, span=None):
+        """REMOVE a file (generator).  Raises ``NfsNoEntryError`` when
+        absent; a handle another process still holds goes stale server
+        side — its reads start answering ``ESTALE``, not old data."""
+        if self.capture is not None:
+            self.capture.record(self.sim.now, self.client_index,
+                                OP_REMOVE, path)
+        parent_path, leaf = self._parent_and_leaf(path)
+        dir_fh, _size, _cached = yield from self._walk(parent_path,
+                                                       span=span)
+        started = self.sim.now
+        yield from self.machine.execute(self.config.marshal_cpu)
+        self._m_cpu.observe(self.sim.now - started)
+        request = RemoveRequest(dir=dir_fh, name=leaf)
+        reply = yield from self._call(request, parent=span)
+        raise_for_status(reply.status, f"REMOVE {path}")
+        self.stats.removes += 1
+        cached = self._dnlc.pop((dir_fh.id, leaf), None)
+        if cached is not None:
+            self._attrs.pop(cached[0].id, None)
+            self._drop_cached_blocks(cached[0])
+        if reply.dir_wcc is not None and reply.dir_wcc.after is not None:
+            self._store_attrs(dir_fh, reply.dir_wcc.after)
+        return None
+
+    def rename(self, src: str, dst: str, span=None):
+        """RENAME (generator).  RFC 1813 semantics: atomically replaces
+        a same-type target; a non-empty target directory refuses."""
+        if self.capture is not None:
+            self.capture.record(self.sim.now, self.client_index,
+                                OP_RENAME, src, path2=dst)
+        src_parent, src_leaf = self._parent_and_leaf(src)
+        dst_parent, dst_leaf = self._parent_and_leaf(dst)
+        from_fh, _s, _c = yield from self._walk(src_parent, span=span)
+        to_fh, _s, _c = yield from self._walk(dst_parent, span=span)
+        started = self.sim.now
+        yield from self.machine.execute(self.config.marshal_cpu)
+        self._m_cpu.observe(self.sim.now - started)
+        request = RenameRequest(from_dir=from_fh, from_name=src_leaf,
+                                to_dir=to_fh, to_name=dst_leaf)
+        reply = yield from self._call(request, parent=span)
+        raise_for_status(reply.status, f"RENAME {src} -> {dst}")
+        self.stats.renames += 1
+        moved = self._dnlc.pop((from_fh.id, src_leaf), None)
+        replaced = self._dnlc.pop((to_fh.id, dst_leaf), None)
+        if replaced is not None:
+            self._attrs.pop(replaced[0].id, None)
+            self._drop_cached_blocks(replaced[0])
+        if moved is not None:
+            self._store_dnlc(to_fh.id, dst_leaf, moved[0], None)
+        if reply.from_wcc is not None and reply.from_wcc.after is not None:
+            self._store_attrs(from_fh, reply.from_wcc.after)
+        if reply.to_wcc is not None and reply.to_wcc.after is not None:
+            self._store_attrs(to_fh, reply.to_wcc.after)
+        return None
+
+    def touch(self, path: str, size: Optional[int] = None,
+              mtime: Optional[float] = None, span=None):
+        """SETATTR by path (generator) — the metadata-write primitive
+        (utimes/truncate).  Refreshes this mount's attr cache from the
+        reply; *other* mounts keep their cached attributes until they
+        expire — the close-to-open staleness window."""
+        if self.capture is not None:
+            self.capture.record(self.sim.now, self.client_index,
+                                OP_SETATTR, path)
+        fh, _size, _cached = yield from self._walk(path, span=span)
+        started = self.sim.now
+        yield from self.machine.execute(self.config.marshal_cpu)
+        self._m_cpu.observe(self.sim.now - started)
+        request = SetattrRequest(fh=fh, size=size, mtime=mtime)
+        reply = yield from self._call(request, parent=span)
+        raise_for_status(reply.status, f"SETATTR {path}")
+        self.stats.setattrs += 1
+        if reply.wcc is not None and reply.wcc.after is not None:
+            self._store_attrs(fh, reply.wcc.after)
+        return None
+
+    # ------------------------------------------------------------------
 
     def _block_count(self, nfile: NfsFile) -> int:
         return -(-nfile.size // self.config.read_size)
@@ -647,6 +1085,18 @@ class NfsMount:
         yield from self.machine.execute(config.receive_cpu + extra)
         self._m_cpu.observe(self.sim.now - started)
         self.stats.rpc_reads += 1
+        if reply.status != NFS_OK:
+            # ESTALE (the file was REMOVEd or RENAMEd over while this
+            # handle was open): evict the placeholder — a retry must
+            # re-ask and re-fail, never serve phantom bytes — and fail
+            # co-waiters parked on the event.
+            self._cache.pop(key, None)
+            try:
+                raise_for_status(reply.status,
+                                 f"READ {nfile.name!r}")
+            except OSError as exc:
+                done.fail(exc)
+                raise
         self._cache[key] = "ready"
         done.succeed()
         return None

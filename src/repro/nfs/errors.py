@@ -25,3 +25,66 @@ class NfsTimeoutError(NfsError):
 
     def __init__(self, message: str):
         super().__init__(errno.ETIMEDOUT, message)
+
+
+class NfsStatusError(NfsError):
+    """A non-ok NFS status returned by the server (RFC 1813 nfsstat3).
+
+    Each subclass carries the errno the kernel maps that status to, so
+    applications catch ordinary ``OSError`` semantics: ``ENOENT`` from
+    a failed lookup, ``ESTALE`` from a handle whose file was removed.
+    """
+
+    status = "error"
+    errno_value = errno.EIO
+
+    def __init__(self, message: str):
+        super().__init__(self.errno_value, message)
+
+
+class NfsNoEntryError(NfsStatusError):
+    status = "noent"
+    errno_value = errno.ENOENT
+
+
+class NfsExistsError(NfsStatusError):
+    status = "exist"
+    errno_value = errno.EEXIST
+
+
+class NfsNotDirError(NfsStatusError):
+    status = "notdir"
+    errno_value = errno.ENOTDIR
+
+
+class NfsIsDirError(NfsStatusError):
+    status = "isdir"
+    errno_value = errno.EISDIR
+
+
+class NfsNotEmptyError(NfsStatusError):
+    status = "notempty"
+    errno_value = errno.ENOTEMPTY
+
+
+class NfsStaleError(NfsStatusError):
+    status = "stale"
+    errno_value = errno.ESTALE
+
+
+class NfsBadCookieError(NfsStatusError):
+    status = "bad_cookie"
+    errno_value = errno.EINVAL
+
+
+STATUS_ERRORS = {cls.status: cls for cls in (
+    NfsNoEntryError, NfsExistsError, NfsNotDirError, NfsIsDirError,
+    NfsNotEmptyError, NfsStaleError, NfsBadCookieError)}
+
+
+def raise_for_status(status: str, context: str) -> None:
+    """Raise the matching error for a non-ok NFS reply status."""
+    if status == "ok":
+        return
+    raise STATUS_ERRORS.get(status, NfsStatusError)(
+        f"{context}: {status}")

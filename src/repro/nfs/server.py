@@ -20,19 +20,26 @@ authors exploited in the real server.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from ..faults.server import CRASH, ServerFaultInjector
-from ..ffs import FileSystem, Inode
+from ..ffs import DIRENT_BYTES, Directory, FileSystem, Inode
 from ..host.machine import Machine
 from ..net.rpc import RpcServer
 from ..readahead import DefaultHeuristic, Heuristic
 from ..sim import Resource, Simulator
 from .fhandle import FileHandle
 from .nfsheur import DEFAULT_NFSHEUR, NfsHeurParams, NfsHeurTable
-from .protocol import (CommitReply, CommitRequest, GetattrReply,
-                       GetattrRequest, LookupReply, LookupRequest,
-                       NFS_READ_SIZE, ReadReply, ReadRequest, WriteReply,
+from .protocol import (CommitReply, CommitRequest, CreateReply,
+                       CreateRequest, DIRENT_REPLY_BYTES,
+                       DIRENTPLUS_REPLY_BYTES, DirEntry, Fattr,
+                       GetattrReply, GetattrRequest, LookupReply,
+                       LookupRequest, MkdirReply, MkdirRequest,
+                       NFS_READ_SIZE, READDIR_OVERHEAD_BYTES,
+                       ReaddirReply, ReaddirRequest, ReadReply,
+                       ReadRequest, RemoveReply, RemoveRequest,
+                       RenameReply, RenameRequest, SetattrReply,
+                       SetattrRequest, WccAttr, WccData, WriteReply,
                        WriteRequest)
 
 
@@ -60,7 +67,17 @@ class NfsServerStats:
     bytes_served: int = 0
     bytes_written: int = 0
     lookups: int = 0
+    lookup_misses: int = 0
     getattrs: int = 0
+    setattrs: int = 0
+    readdirs: int = 0
+    readdir_entries: int = 0
+    creates: int = 0
+    mkdirs: int = 0
+    removes: int = 0
+    renames: int = 0
+    stale_handles: int = 0
+    bad_cookies: int = 0
     seqcount_total: int = 0
     crashes: int = 0
     stalls: int = 0
@@ -122,11 +139,15 @@ class NfsServer:
         self._m_service: Dict[str, object] = {}
         #: Arrival trace (populated when config.record_trace is set).
         self.trace = []
-        self._by_fh: Dict[FileHandle, Inode] = {}
-        self._by_name: Dict[str, FileHandle] = {}
+        #: Live handles: fh -> the file inode or directory it names.
+        #: REMOVE deletes the mapping, so later operations on a retained
+        #: handle answer ``stale`` (RFC 1813 NFS3ERR_STALE).
+        self._by_fh: Dict[FileHandle, Union[Inode, Directory]] = {}
+        self.root_fh = self._export_node(fs.namespace.root)
         self.attach_transport(rpc)
-        for name in fs.files:
-            self._export(fs.files[name])
+        for name in sorted(fs.files):
+            self._export_node(fs.files[name])
+            self._install_entry_chain(name)
         if faults is not None and faults.has_events:
             sim.spawn(self._fault_controller(), name="nfs-server.faults")
 
@@ -211,23 +232,79 @@ class NfsServer:
 
     # ------------------------------------------------------------------
 
-    def _export(self, inode: Inode) -> FileHandle:
-        fh = FileHandle(id=inode.number)
-        self._by_fh[fh] = inode
-        self._by_name[inode.name] = fh
+    @staticmethod
+    def _inode_of(node: Union[Inode, Directory]) -> Inode:
+        return node.inode if isinstance(node, Directory) else node
+
+    def _export_node(self, node: Union[Inode, Directory]) -> FileHandle:
+        """The (stable, idempotent) handle for a live node."""
+        fh = FileHandle(id=self._inode_of(node).number)
+        self._by_fh[fh] = node
         return fh
 
+    def _unexport(self, node: Union[Inode, Directory]) -> None:
+        self._by_fh.pop(FileHandle(id=self._inode_of(node).number), None)
+
+    def _fattr(self, node: Union[Inode, Directory]) -> Fattr:
+        inode = self._inode_of(node)
+        ftype = "dir" if isinstance(node, Directory) else "reg"
+        return Fattr(fileid=inode.number, ftype=ftype, size=inode.size,
+                     mtime=inode.mtime, ctime=inode.ctime)
+
+    def _wcc_before(self, node: Union[Inode, Directory]) -> WccAttr:
+        inode = self._inode_of(node)
+        return WccAttr(size=inode.size, mtime=inode.mtime,
+                       ctime=inode.ctime)
+
     def export_file(self, name: str, size: int) -> FileHandle:
-        """Create a file in the underlying FS and export it."""
-        return self._export(self.fs.create_file(name, size))
+        """Create a file in the underlying FS and export it.
+
+        ``name`` may be a ``/``-separated path; missing intermediate
+        directories are created (and become LOOKUP-able)."""
+        fh = self._export_node(self.fs.create_file(name, size))
+        self._install_entry_chain(name)
+        return fh
+
+    def _install_entry_chain(self, path: str) -> None:
+        """Warm the directory blocks a LOOKUP of ``path`` walks.
+
+        Export-time file creation writes those blocks, so they are in
+        the buffer cache exactly as they would be on a freshly built
+        server; without this, the first LOOKUP of an exported name
+        would charge a phantom cold read no real fresh testbed pays.
+        ``crash()`` still drops them — post-reboot lookups go to disk.
+        """
+        bs = self.fs.params.block_size
+        node: Union[Inode, Directory] = self.fs.namespace.root
+        for part in (p for p in path.split("/") if p):
+            if not isinstance(node, Directory):
+                break
+            self.fs.cache.install(node.entry_block(part, bs), 1)
+            child = node.entries.get(part)
+            if child is None:
+                break
+            node = child
+
+    def export_tree(self, files: Iterable[Tuple[str, int]]
+                    ) -> List[FileHandle]:
+        """Export many ``(path, size)`` files (sorted for determinism)."""
+        return [self.export_file(path, size)
+                for path, size in sorted(files)]
 
     def fh_of(self, name: str) -> FileHandle:
-        return self._by_name[name]
+        """Handle of an exported path (file or directory)."""
+        node = self.fs.namespace.resolve(name)
+        return self._export_node(node)
 
     def exported_files(self):
-        """The exported namespace as sorted ``(name, size)`` pairs."""
-        return sorted((inode.name, inode.size)
-                      for inode in self._by_fh.values())
+        """The exported namespace as sorted ``(name, size)`` pairs.
+
+        Enumerates the directory tree's flat file view, so a flat
+        export produces exactly the list the pre-namespace server did —
+        old trace captures re-export and replay byte-identically.
+        """
+        return sorted((path, inode.size)
+                      for path, inode in self.fs.namespace.walk_files())
 
     def volatile_token(self, fh: FileHandle, block: int) -> int:
         """The content token a READ of ``block`` would see (0 = never
@@ -280,6 +357,18 @@ class NfsServer:
                 reply = yield from self._lookup(request)
             elif isinstance(request, GetattrRequest):
                 reply = yield from self._getattr(request)
+            elif isinstance(request, ReaddirRequest):
+                reply = yield from self._readdir(request)
+            elif isinstance(request, SetattrRequest):
+                reply = yield from self._setattr(request)
+            elif isinstance(request, CreateRequest):
+                reply = yield from self._create(request)
+            elif isinstance(request, RemoveRequest):
+                reply = yield from self._remove(request)
+            elif isinstance(request, MkdirRequest):
+                reply = yield from self._mkdir(request)
+            elif isinstance(request, RenameRequest):
+                reply = yield from self._rename(request)
             else:
                 raise TypeError(f"unsupported NFS request {request!r}")
         finally:
@@ -305,7 +394,15 @@ class NfsServer:
         started = self.sim.now
         yield from self.machine.execute(config.cpu_per_call / 2)
         self._m_cpu.observe(self.sim.now - started)
-        inode = self._by_fh[request.fh]
+        node = self._by_fh.get(request.fh)
+        if node is None:
+            self.stats.stale_handles += 1
+            return ReadReply(fh=request.fh, offset=request.offset,
+                             count=0, eof=True, status="stale")
+        if isinstance(node, Directory):
+            return ReadReply(fh=request.fh, offset=request.offset,
+                             count=0, eof=True, status="isdir")
+        inode = node
         state = self.nfsheur.lookup(request.fh, request.offset)
         if self._observe_takes_fh:
             seq_count = self.heuristic.observe(
@@ -359,7 +456,15 @@ class NfsServer:
             config.cpu_per_call + request.count * config.cpu_per_byte)
         if self.boot_epoch != epoch:
             return None
-        inode = self._by_fh[request.fh]
+        node = self._by_fh.get(request.fh)
+        if node is None:
+            self.stats.stale_handles += 1
+            return WriteReply(fh=request.fh, offset=request.offset,
+                              count=0, status="stale")
+        if isinstance(node, Directory):
+            return WriteReply(fh=request.fh, offset=request.offset,
+                              count=0, status="isdir")
+        inode = node
         got = yield from self.fs.write(inode, request.offset,
                                        request.count, stream=request.fh)
         if self.boot_epoch != epoch:
@@ -388,20 +493,322 @@ class NfsServer:
         yield from self.machine.execute(self.config.cpu_per_call)
         if self.boot_epoch != epoch:
             return None
+        if request.fh not in self._by_fh:
+            self.stats.stale_handles += 1
+            return CommitReply(fh=request.fh, status="stale")
         ok = yield from self._sync_and_promote(epoch)
         if not ok:
             return None
         self.stats.commits += 1
         return CommitReply(fh=request.fh, verifier=self.write_verifier)
 
+    # ------------------------------------------------------------------
+    # Directory I/O: the disk traffic metadata operations really cost.
+    # ------------------------------------------------------------------
+
+    def _dir_read(self, blocks, span=None):
+        """Wait until the given directory block runs are resident.
+
+        Warm blocks cost nothing — :meth:`BufferCache.touch` counts the
+        hit without scheduling an event, so a fully cached walk leaves
+        the simulation's event order untouched.
+        """
+        cache = self.fs.cache
+        waits = []
+        for disk_block, run in blocks:
+            if all(disk_block + i in cache for i in range(run)):
+                for i in range(run):
+                    cache.touch(disk_block + i)
+                continue
+            waits.append(cache.read(disk_block, run, stream="dirmeta",
+                                    parent=span))
+        for wait in waits:
+            yield wait
+
+    def _dir_read_entry(self, directory: Directory, name: str,
+                        span=None):
+        """Read the one block holding ``name``'s directory slot."""
+        blkno = directory.entry_block(name, self.fs.params.block_size)
+        if self.fs.cache.touch(blkno):
+            return
+        yield self.fs.cache.read(blkno, 1, stream="dirmeta", parent=span)
+
+    def _dir_write_slot(self, directory: Directory, slot: int) -> None:
+        """Dirty the block holding ``slot`` (write-behind, no wait)."""
+        per = self.fs.params.block_size // DIRENT_BYTES
+        disk_block = directory.inode.map_range(slot // per, 1)[0][0]
+        self.fs.cache.write(disk_block, 1, stream="dirmeta")
+
+    # ------------------------------------------------------------------
+    # Namespace procedures (RFC 1813)
+    # ------------------------------------------------------------------
+
     def _lookup(self, request: LookupRequest):
+        """LOOKUP: walk ``name`` (one component, or a ``/`` path for
+        the legacy flat-open) under ``dir``, charging one directory
+        block read per component hit; a miss costs a full scan of the
+        directory — exactly why cold lookups over a 50k-entry
+        directory are a string of 8 KiB reads."""
         yield from self.machine.execute(self.config.cpu_per_call)
-        fh = self._by_name[request.name]
         self.stats.lookups += 1
-        return LookupReply(fh=fh, size=self._by_fh[fh].size)
+        bs = self.fs.params.block_size
+        if request.dir is None:
+            node: Union[Inode, Directory] = self.fs.namespace.root
+        else:
+            got = self._by_fh.get(request.dir)
+            if got is None:
+                self.stats.stale_handles += 1
+                return LookupReply(fh=None, size=0, status="stale")
+            node = got
+        searched: Optional[Directory] = \
+            node if isinstance(node, Directory) else None
+        for part in (p for p in request.name.split("/") if p):
+            if not isinstance(node, Directory):
+                return LookupReply(
+                    fh=None, size=0, status="notdir",
+                    dir_attributes=(self._fattr(searched)
+                                    if searched else None))
+            searched = node
+            child = node.entries.get(part)
+            if child is None:
+                yield from self._dir_read(node.all_blocks(bs))
+                self.stats.lookup_misses += 1
+                return LookupReply(fh=None, size=0, status="noent",
+                                   dir_attributes=self._fattr(node))
+            yield from self._dir_read_entry(node, part)
+            node = child
+        return LookupReply(
+            fh=self._export_node(node), size=self._inode_of(node).size,
+            attributes=self._fattr(node),
+            dir_attributes=(self._fattr(searched)
+                            if searched is not None else None))
 
     def _getattr(self, request: GetattrRequest):
         yield from self.machine.execute(self.config.cpu_per_call)
         self.stats.getattrs += 1
+        node = self._by_fh.get(request.fh)
+        if node is None:
+            self.stats.stale_handles += 1
+            return GetattrReply(fh=request.fh, size=0, status="stale")
         return GetattrReply(fh=request.fh,
-                            size=self._by_fh[request.fh].size)
+                            size=self._inode_of(node).size,
+                            attributes=self._fattr(node))
+
+    def _setattr(self, request: SetattrRequest):
+        yield from self.machine.execute(self.config.cpu_per_call)
+        node = self._by_fh.get(request.fh)
+        if node is None:
+            self.stats.stale_handles += 1
+            return SetattrReply(fh=request.fh, status="stale")
+        before = self._wcc_before(node)
+        inode = self._inode_of(node)
+        now = self.sim.now
+        if request.size is not None:
+            # Truncate within the allocation; growing past it would
+            # need block allocation the write path doesn't model.
+            capacity = inode.nblocks * self.fs.params.block_size
+            inode.size = min(request.size, capacity)
+        inode.mtime = request.mtime if request.mtime is not None else now
+        inode.ctime = now
+        self.stats.setattrs += 1
+        return SetattrReply(fh=request.fh,
+                            wcc=WccData(before=before,
+                                        after=self._fattr(node)))
+
+    def _readdir(self, request: ReaddirRequest):
+        """READDIR(PLUS): slot-ordered entries, chunked to the
+        request's ``count`` byte budget; cookies resume, and a stale
+        cookie verifier (the directory mutated) answers
+        ``bad_cookie``."""
+        yield from self.machine.execute(self.config.cpu_per_call)
+        node = self._by_fh.get(request.dir)
+        if node is None:
+            self.stats.stale_handles += 1
+            return ReaddirReply(dir=request.dir, status="stale",
+                                plus=request.plus)
+        if not isinstance(node, Directory):
+            return ReaddirReply(dir=request.dir, status="notdir",
+                                plus=request.plus)
+        verf = node.mutations
+        if request.cookie != 0 and request.cookieverf != verf:
+            self.stats.bad_cookies += 1
+            return ReaddirReply(dir=request.dir, status="bad_cookie",
+                                cookieverf=verf, plus=request.plus,
+                                dir_attributes=self._fattr(node))
+        per_entry = DIRENTPLUS_REPLY_BYTES if request.plus \
+            else DIRENT_REPLY_BYTES
+        budget = max(1, (request.count - READDIR_OVERHEAD_BYTES)
+                     // per_entry)
+        pending = [pair for pair in node.sorted_slots()
+                   if pair[0] >= request.cookie]
+        selected = pending[:budget]
+        eof = len(pending) <= budget
+        if selected:
+            first, last = selected[0][0], selected[-1][0]
+            yield from self._dir_read(node.slot_blocks(
+                first, last - first + 1, self.fs.params.block_size))
+        entries = []
+        for slot, name in selected:
+            child = node.entries[name]
+            inode = self._inode_of(child)
+            if request.plus:
+                entries.append(DirEntry(
+                    fileid=inode.number, name=name, cookie=slot + 1,
+                    attributes=self._fattr(child),
+                    fh=self._export_node(child)))
+            else:
+                entries.append(DirEntry(fileid=inode.number, name=name,
+                                        cookie=slot + 1))
+        reply = ReaddirReply(dir=request.dir, entries=tuple(entries),
+                             eof=eof, cookieverf=verf,
+                             plus=request.plus,
+                             dir_attributes=self._fattr(node))
+        yield from self.machine.execute(
+            reply.payload_bytes * self.config.cpu_per_byte)
+        self.stats.readdirs += 1
+        self.stats.readdir_entries += len(entries)
+        return reply
+
+    def _create(self, request: CreateRequest):
+        yield from self.machine.execute(self.config.cpu_per_call)
+        node = self._by_fh.get(request.dir)
+        if node is None:
+            self.stats.stale_handles += 1
+            return CreateReply(fh=None, status="stale")
+        if not isinstance(node, Directory):
+            return CreateReply(fh=None, status="notdir")
+        directory = node
+        before = self._wcc_before(directory)
+        existing = directory.entries.get(request.name)
+        if existing is not None:
+            yield from self._dir_read_entry(directory, request.name)
+            wcc = WccData(before=before, after=self._fattr(directory))
+            if isinstance(existing, Directory):
+                return CreateReply(fh=None, status="isdir", dir_wcc=wcc)
+            if request.exclusive:
+                return CreateReply(fh=None, status="exist", dir_wcc=wcc)
+            # UNCHECKED: an existing file satisfies the call — also
+            # what makes a dupreq-missed CREATE retry harmless.
+            return CreateReply(fh=self._export_node(existing),
+                               attributes=self._fattr(existing),
+                               dir_wcc=wcc)
+        inode = self.fs.namespace.create_in(
+            directory, request.name, request.size, now=self.sim.now)
+        self._dir_write_slot(directory, directory.slots[request.name])
+        self.stats.creates += 1
+        return CreateReply(fh=self._export_node(inode),
+                           attributes=self._fattr(inode),
+                           dir_wcc=WccData(before=before,
+                                           after=self._fattr(directory)))
+
+    def _mkdir(self, request: MkdirRequest):
+        yield from self.machine.execute(self.config.cpu_per_call)
+        node = self._by_fh.get(request.dir)
+        if node is None:
+            self.stats.stale_handles += 1
+            return MkdirReply(fh=None, status="stale")
+        if not isinstance(node, Directory):
+            return MkdirReply(fh=None, status="notdir")
+        directory = node
+        before = self._wcc_before(directory)
+        existing = directory.entries.get(request.name)
+        if existing is not None:
+            yield from self._dir_read_entry(directory, request.name)
+            wcc = WccData(before=before, after=self._fattr(directory))
+            if isinstance(existing, Directory):
+                # mkdir -p semantics for retries: hand back the dir.
+                return MkdirReply(fh=self._export_node(existing),
+                                  status="exist",
+                                  attributes=self._fattr(existing),
+                                  dir_wcc=wcc)
+            return MkdirReply(fh=None, status="exist", dir_wcc=wcc)
+        child = self.fs.namespace.mkdir_in(directory, request.name,
+                                           now=self.sim.now)
+        self._dir_write_slot(directory, directory.slots[request.name])
+        self.stats.mkdirs += 1
+        return MkdirReply(fh=self._export_node(child),
+                          attributes=self._fattr(child),
+                          dir_wcc=WccData(before=before,
+                                          after=self._fattr(directory)))
+
+    def _remove(self, request: RemoveRequest):
+        yield from self.machine.execute(self.config.cpu_per_call)
+        node = self._by_fh.get(request.dir)
+        if node is None:
+            self.stats.stale_handles += 1
+            return RemoveReply(status="stale")
+        if not isinstance(node, Directory):
+            return RemoveReply(status="notdir")
+        directory = node
+        before = self._wcc_before(directory)
+        child = directory.entries.get(request.name)
+        if child is None:
+            yield from self._dir_read(
+                directory.all_blocks(self.fs.params.block_size))
+            return RemoveReply(status="noent",
+                               dir_wcc=WccData(
+                                   before=before,
+                                   after=self._fattr(directory)))
+        if isinstance(child, Directory):
+            return RemoveReply(status="isdir",
+                               dir_wcc=WccData(
+                                   before=before,
+                                   after=self._fattr(directory)))
+        slot = directory.slots[request.name]
+        yield from self._dir_read_entry(directory, request.name)
+        self.fs.namespace.remove_in(directory, request.name,
+                                    now=self.sim.now)
+        self._dir_write_slot(directory, slot)
+        # The handle dies with the file: retained copies answer stale.
+        self._unexport(child)
+        self.stats.removes += 1
+        return RemoveReply(dir_wcc=WccData(before=before,
+                                           after=self._fattr(directory)))
+
+    def _rename(self, request: RenameRequest):
+        yield from self.machine.execute(self.config.cpu_per_call)
+        from_node = self._by_fh.get(request.from_dir)
+        to_node = self._by_fh.get(request.to_dir)
+        if from_node is None or to_node is None:
+            self.stats.stale_handles += 1
+            return RenameReply(status="stale")
+        if not isinstance(from_node, Directory) \
+                or not isinstance(to_node, Directory):
+            return RenameReply(status="notdir")
+        from_before = self._wcc_before(from_node)
+        to_before = self._wcc_before(to_node)
+
+        def wccs():
+            return dict(
+                from_wcc=WccData(before=from_before,
+                                 after=self._fattr(from_node)),
+                to_wcc=WccData(before=to_before,
+                               after=self._fattr(to_node)))
+
+        if request.from_name not in from_node.entries:
+            yield from self._dir_read(
+                from_node.all_blocks(self.fs.params.block_size))
+            return RenameReply(status="noent", **wccs())
+        yield from self._dir_read_entry(from_node, request.from_name)
+        if request.to_name in to_node.entries:
+            yield from self._dir_read_entry(to_node, request.to_name)
+        from_slot = from_node.slots[request.from_name]
+        try:
+            moved, replaced = self.fs.namespace.rename_in(
+                from_node, request.from_name, to_node, request.to_name,
+                now=self.sim.now)
+        except IsADirectoryError:
+            return RenameReply(status="isdir", **wccs())
+        except NotADirectoryError:
+            return RenameReply(status="notdir", **wccs())
+        except OSError:  # ENOTEMPTY: target directory not empty
+            return RenameReply(status="notempty", **wccs())
+        if replaced is not None:
+            # The replaced node's handle is dead; the moved node keeps
+            # its own handle (re-export is an idempotent overwrite).
+            self._unexport(replaced)
+            self._export_node(moved)
+        self._dir_write_slot(from_node, from_slot)
+        self._dir_write_slot(to_node, to_node.slots[request.to_name])
+        self.stats.renames += 1
+        return RenameReply(**wccs())

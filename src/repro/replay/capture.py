@@ -41,13 +41,15 @@ class TraceCapture:
         self._seqs: Dict[int, int] = {}
 
     def record(self, time: float, client: int, op: str, path: str,
-               offset: int = 0, count: int = 0) -> None:
+               offset: int = 0, count: int = 0,
+               path2: str = "") -> None:
         """Record one operation issued by ``client`` at ``time``."""
         seq = self._seqs.get(client, 0)
         self._seqs[client] = seq + 1
         self.records.append(TraceRecord(
             time=time, fh=path, offset=offset, count=count,
-            client_seq=seq, op=op, client=client, path=path))
+            client_seq=seq, op=op, client=client, path=path,
+            path2=path2))
 
     @property
     def ops(self) -> int:
@@ -73,7 +75,8 @@ class NullCapture:
     ops = 0
 
     def record(self, time: float, client: int, op: str, path: str,
-               offset: int = 0, count: int = 0) -> None:
+               offset: int = 0, count: int = 0,
+               path2: str = "") -> None:
         pass
 
 

@@ -33,8 +33,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..sim import Event, Simulator
-from ..trace.records import (OP_COMMIT, OP_GETATTR, OP_OPEN, OP_READ,
-                             OP_WRITE, TraceRecord)
+from ..trace.records import (OP_COMMIT, OP_CREATE, OP_GETATTR, OP_MKDIR,
+                             OP_OPEN, OP_READ, OP_READDIR, OP_REMOVE,
+                             OP_RENAME, OP_SETATTR, OP_STAT, OP_WRITE,
+                             TraceRecord)
 
 
 @dataclass
@@ -109,6 +111,27 @@ def _replay_op(sim: Simulator, mount, files: Dict[str, object],
         elif record.op == OP_COMMIT:
             nfile = yield from _ensure_open(sim, mount, files, record.path)
             yield from mount.commit(nfile)
+        elif record.op == OP_STAT:
+            yield from mount.stat(record.path)
+        elif record.op == OP_READDIR:
+            yield from mount.readdir(record.path)
+        elif record.op == OP_CREATE:
+            nfile = yield from mount.create(record.path,
+                                            size=record.count or 1024)
+            files[record.path] = nfile
+        elif record.op == OP_MKDIR:
+            yield from mount.mkdir(record.path)
+        elif record.op == OP_REMOVE:
+            yield from mount.remove(record.path)
+            files.pop(record.path, None)
+        elif record.op == OP_RENAME:
+            yield from mount.rename(record.path, record.path2)
+            moved = files.pop(record.path, None)
+            if moved is not None and not isinstance(moved, Event):
+                files[record.path2] = moved
+        elif record.op == OP_SETATTR:
+            yield from mount.touch(record.path,
+                                   size=record.count or None)
         else:  # unreachable: records validate their op on construction
             raise ValueError(f"unknown replay op {record.op!r}")
     except OSError:

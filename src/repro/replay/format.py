@@ -18,11 +18,21 @@ from __future__ import annotations
 import json
 from typing import List
 
-from ..trace.records import OP_KINDS, TraceRecord
+from ..trace.records import (OP_COMMIT, OP_GETATTR, OP_KINDS, OP_OPEN,
+                             OP_READ, OP_WRITE, TraceRecord)
 from .records import TraceFile, TraceHeader
 
 FORMAT_NAME = "repro-replay-trace"
-FORMAT_VERSION = 1
+#: Version 2 adds the namespace operations (stat/readdir/create/mkdir/
+#: remove/rename/setattr) and the rename target key ``"p2"``.  A trace
+#: that uses none of them is written as version 1, byte-identical to
+#: what the version-1 writer produced — pre-namespace captures round
+#: trip unchanged and stay readable by old readers.
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
+
+#: The operation vocabulary of format version 1.
+_V1_OPS = frozenset((OP_READ, OP_WRITE, OP_OPEN, OP_GETATTR, OP_COMMIT))
 
 _COMPACT = {"sort_keys": True, "separators": (",", ":")}
 
@@ -31,10 +41,14 @@ class TraceFormatError(ValueError):
     """The bytes are not a trace this reader understands."""
 
 
-def _header_line(header: TraceHeader) -> str:
+def _needs_v2(record: TraceRecord) -> bool:
+    return record.op not in _V1_OPS or bool(record.path2)
+
+
+def _header_line(header: TraceHeader, version: int) -> str:
     return json.dumps({
         "format": FORMAT_NAME,
-        "version": FORMAT_VERSION,
+        "version": version,
         "block_size": header.block_size,
         "fileset": [[name, size] for name, size in header.fileset],
         "seed": header.seed,
@@ -44,7 +58,7 @@ def _header_line(header: TraceHeader) -> str:
 
 
 def _record_line(record: TraceRecord) -> str:
-    return json.dumps({
+    raw = {
         "t": record.time,
         "c": record.client,
         "op": record.op,
@@ -52,12 +66,18 @@ def _record_line(record: TraceRecord) -> str:
         "off": record.offset,
         "n": record.count,
         "seq": record.client_seq,
-    }, **_COMPACT)
+    }
+    if record.path2:
+        raw["p2"] = record.path2
+    return json.dumps(raw, **_COMPACT)
 
 
 def dumps_trace(trace: TraceFile) -> str:
     """Serialize a trace to JSONL text (newline-terminated)."""
-    lines = [_header_line(trace.header)]
+    version = (FORMAT_VERSION
+               if any(_needs_v2(record) for record in trace.records)
+               else 1)
+    lines = [_header_line(trace.header, version)]
     lines.extend(_record_line(record) for record in trace.records)
     return "\n".join(lines) + "\n"
 
@@ -71,10 +91,10 @@ def _parse_header(line: str) -> TraceHeader:
         raise TraceFormatError(
             f"not a {FORMAT_NAME} file (header {line[:60]!r})")
     version = raw.get("version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise TraceFormatError(
             f"trace format version {version!r} not supported "
-            f"(this reader speaks version {FORMAT_VERSION})")
+            f"(this reader speaks versions {SUPPORTED_VERSIONS})")
     try:
         return TraceHeader(
             block_size=int(raw["block_size"]),
@@ -97,7 +117,8 @@ def _parse_record(line: str, lineno: int) -> TraceRecord:
         return TraceRecord(
             time=float(raw["t"]), fh=path, offset=int(raw["off"]),
             count=int(raw["n"]), client_seq=int(raw["seq"]),
-            op=op, client=int(raw["c"]), path=path)
+            op=op, client=int(raw["c"]), path=path,
+            path2=str(raw.get("p2", "")))
     except (json.JSONDecodeError, KeyError, TypeError,
             ValueError) as exc:
         raise TraceFormatError(

@@ -65,7 +65,8 @@ def _remap_record(record: TraceRecord, path: str, size: int,
             count = max(1, min(count, size - offset))
     return TraceRecord(
         time=record.time, fh=path, offset=offset, count=count,
-        client_seq=seq, op=record.op, client=client, path=path)
+        client_seq=seq, op=record.op, client=client, path=path,
+        path2=record.path2)
 
 
 def multiplex_trace(trace: TraceFile, clients: int, seed: int,
@@ -105,7 +106,7 @@ def multiplex_trace(trace: TraceFile, clients: int, seed: int,
                     time=record.time, fh=record.path,
                     offset=record.offset, count=record.count,
                     client_seq=seq, op=record.op, client=index,
-                    path=record.path))
+                    path=record.path, path2=record.path2))
             continue
         rng = random.Random(derive_seed(seed, f"replay.clone{index}"))
         #: Per-clone popularity remap: every distinct source path maps

@@ -5,8 +5,10 @@ from .generate import (DEFAULT_TRACE_SEED, default_rng, random_trace,
 from .metrics import (group_by_handle, mean_seqcount,
                       offset_backjump_fraction, reorder_fraction,
                       sequentiality_profile)
-from .records import (OP_COMMIT, OP_GETATTR, OP_KINDS, OP_OPEN, OP_READ,
-                      OP_WRITE, TraceRecord)
+from .records import (OP_COMMIT, OP_CREATE, OP_GETATTR, OP_KINDS,
+                      OP_MKDIR, OP_OPEN, OP_READ, OP_READDIR, OP_REMOVE,
+                      OP_RENAME, OP_SETATTR, OP_STAT, OP_WRITE,
+                      TraceRecord)
 
 __all__ = [
     "TraceRecord",
@@ -15,6 +17,13 @@ __all__ = [
     "OP_OPEN",
     "OP_GETATTR",
     "OP_COMMIT",
+    "OP_STAT",
+    "OP_READDIR",
+    "OP_CREATE",
+    "OP_MKDIR",
+    "OP_REMOVE",
+    "OP_RENAME",
+    "OP_SETATTR",
     "OP_KINDS",
     "DEFAULT_TRACE_SEED",
     "default_rng",

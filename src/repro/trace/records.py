@@ -28,8 +28,21 @@ OP_WRITE = "write"
 OP_OPEN = "open"
 OP_GETATTR = "getattr"
 OP_COMMIT = "commit"
+#: Namespace ops (captured client-side only).  ``stat`` is a path-based
+#: attribute fetch (the attr-cache-aware one, unlike ``getattr`` which
+#: names an already-open file); ``create`` carries the new file's size
+#: in ``count``; ``rename`` carries its target path in ``path2``.
+OP_STAT = "stat"
+OP_READDIR = "readdir"
+OP_CREATE = "create"
+OP_MKDIR = "mkdir"
+OP_REMOVE = "remove"
+OP_RENAME = "rename"
+OP_SETATTR = "setattr"
 
-OP_KINDS = (OP_READ, OP_WRITE, OP_OPEN, OP_GETATTR, OP_COMMIT)
+OP_KINDS = (OP_READ, OP_WRITE, OP_OPEN, OP_GETATTR, OP_COMMIT,
+            OP_STAT, OP_READDIR, OP_CREATE, OP_MKDIR, OP_REMOVE,
+            OP_RENAME, OP_SETATTR)
 
 #: Ops that move data and therefore must have a positive byte count.
 _DATA_OPS = (OP_READ, OP_WRITE)
@@ -52,6 +65,7 @@ class TraceRecord:
     op: str = OP_READ    # operation kind (see OP_KINDS)
     client: int = 0      # index of the issuing client machine
     path: str = ""       # file name (run-stable identity for replay)
+    path2: str = ""      # second path (RENAME target); "" otherwise
 
     def __post_init__(self):
         if self.op not in OP_KINDS:
@@ -62,3 +76,5 @@ class TraceRecord:
             raise ValueError("bad trace record range")
         if self.count < 0:
             raise ValueError("bad trace record range")
+        if self.path2 and self.op != OP_RENAME:
+            raise ValueError("path2 is only meaningful for rename")

@@ -1,0 +1,21 @@
+"""Application-level workload generators driven over NFS mounts.
+
+The benchmark runners of :mod:`repro.bench` reproduce the paper's §4.3
+streaming-read workload.  This package holds the *metadata-heavy*
+workload family the paper's §8 warns is missing from most NFS
+benchmarks: large directory trees exercised with the list/stat/grep/
+untar/edit patterns whose costs are dominated by LOOKUP, GETATTR, and
+READDIR rather than READ.
+"""
+
+from .namespace import (NamespaceRunResult, NamespaceTreeSpec,
+                        NamespaceWorkload, PATTERNS,
+                        run_namespace_once)
+
+__all__ = [
+    "NamespaceTreeSpec",
+    "NamespaceWorkload",
+    "NamespaceRunResult",
+    "PATTERNS",
+    "run_namespace_once",
+]

@@ -12,8 +12,11 @@ import pytest
 
 from repro.diagnose import DiagnosisInputs, diagnose, run_detectors
 from repro.diagnose.detectors import default_detectors
+from repro.diagnose.detectors.attrcache import AttrCacheStalenessDetector
 from repro.diagnose.detectors.backlog import OpenLoopBacklogDetector
 from repro.diagnose.detectors.fairness import BufqFairnessDetector
+from repro.diagnose.detectors.lookupstorm import LookupStormDetector
+from repro.diagnose.detectors.readdir import ReaddirChunkingDetector
 from repro.diagnose.detectors.nfsheur import NfsheurThrashDetector
 from repro.diagnose.detectors.tcq import TcqReorderingDetector
 from repro.diagnose.detectors.warmth import CacheWarmthDetector
@@ -277,11 +280,12 @@ class TestBattery:
                        zone_snap(1, 30.0, series="inner"),
                        TestTcq().tcq_snap()])
 
-    def test_default_battery_covers_all_six_traps(self):
+    def test_default_battery_covers_all_nine_traps(self):
         assert [type(detector) for detector in default_detectors()] == [
             ZcavDetector, TcqReorderingDetector, BufqFairnessDetector,
             NfsheurThrashDetector, CacheWarmthDetector,
-            OpenLoopBacklogDetector]
+            OpenLoopBacklogDetector, AttrCacheStalenessDetector,
+            LookupStormDetector, ReaddirChunkingDetector]
 
     def test_findings_come_out_in_battery_order(self):
         findings = run_detectors(self.mixed_inputs())

@@ -267,6 +267,19 @@ class TestExtensionExperiments(object):
         assert figure.get("always").at(4).mean >= \
             0.9 * figure.get("default/default-nfsheur").at(4).mean
 
+    def test_namespace_attrcache_window_dominates(self, figures):
+        """xnamespace: disabling the attribute cache (acregmax=0)
+        collapses stat() throughput on both transports — the mount
+        option dwarfs everything else in the metadata workload."""
+        figure = figures["xnamespace"]
+        udp = figure.get("udp")
+        tcp = figure.get("tcp")
+        for series in (udp, tcp):
+            assert series.at(0.0).mean < 0.5 * series.at(60.0).mean
+        # Cache off, every probe is a synchronous RPC: the per-call
+        # transport cost separates udp from tcp clearly.
+        assert udp.at(0.0).mean > 1.5 * tcp.at(0.0).mean
+
     def test_aged_fs_readahead_value_stays_large(self, figures):
         figure = figures["xaged"]
         for fragmentation in (0.0, 0.5):

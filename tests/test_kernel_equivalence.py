@@ -120,6 +120,26 @@ class TestReplayIdentity:
         assert len(digest) == 64
 
 
+class TestNamespaceWorkloadIdentity:
+    @pytest.mark.parametrize("pattern", ["stat", "list", "edit"])
+    def test_namespace_summary_byte_identical(self, pattern):
+        """The metadata workload family obeys the same contract: the
+        full run summary (op counts, every mount and server counter)
+        must not differ by a byte across kernels."""
+        from repro.workloads import (NamespaceTreeSpec,
+                                     NamespaceWorkload,
+                                     run_namespace_once)
+        tree = NamespaceTreeSpec(files=300, depth=1, fanout=4)
+        workload = NamespaceWorkload(pattern=pattern, ops=40)
+        config = TestbedConfig(num_clients=2, seed=7)
+        summaries = {}
+        for kernel in KERNELS:
+            with use_kernel(kernel):
+                result = run_namespace_once(config, tree, workload)
+            summaries[kernel] = canonical(result.summary())
+        assert summaries["calendar"] == summaries["heap"]
+
+
 class TestCampaignFoldIdentity:
     def test_bench_campaign_fold_byte_identical(self, tmp_path):
         from repro.campaign import (CampaignOptions, fold_bench,
