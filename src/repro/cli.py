@@ -95,6 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record spans for every simulated request "
                              "and write Chrome trace_event JSON to FILE "
                              "(open with Perfetto / chrome://tracing)")
+    parser.add_argument("--provenance", metavar="FILE", default=None,
+                        help="record the causal provenance graph (op "
+                             "lineage edges; implies span tracing) and "
+                             "write it as JSONL to FILE; feed it to "
+                             "'diagnose --slowest/--op'")
+    parser.add_argument("--provenance-dot", metavar="FILE", default=None,
+                        help="also write the provenance graph as a "
+                             "Graphviz digraph to FILE (implies "
+                             "--provenance collection)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect the per-layer metrics registry and "
                              "print a report after each experiment")
@@ -120,10 +129,13 @@ def _list_experiments() -> None:
 def _run_one(experiment_id: str, args) -> None:
     experiment = get(experiment_id)
     metrics_out = getattr(args, "metrics_out", None)
+    provenance_out = getattr(args, "provenance", None)
+    provenance_dot = getattr(args, "provenance_dot", None)
     started = time.time()
     with observe(trace=args.trace is not None,
-                 metrics=args.metrics or metrics_out is not None
-                 ) as session:
+                 metrics=args.metrics or metrics_out is not None,
+                 provenance=(provenance_out is not None
+                             or provenance_dot is not None)) as session:
         figure = experiment.run(scale=args.scale, runs=args.runs,
                                 seed=args.seed)
     elapsed = time.time() - started
@@ -145,6 +157,15 @@ def _run_one(experiment_id: str, args) -> None:
             handle.write(session.trace_json())
         print(f"\ntrace: {len(session.spans)} spans -> {args.trace} "
               f"(load in https://ui.perfetto.dev)")
+    if provenance_out is not None:
+        with open(provenance_out, "w") as handle:
+            handle.write(session.provenance_jsonl())
+        print(f"\nprovenance: {len(session.prov_records)} records -> "
+              f"{provenance_out}")
+    if provenance_dot is not None:
+        with open(provenance_dot, "w") as handle:
+            handle.write(session.provenance_dot())
+        print(f"\nprovenance dot: -> {provenance_dot}")
     detail_out = getattr(args, "detail_out", None)
     if detail_out is not None:
         records = getattr(figure, "detail", [])
@@ -354,6 +375,13 @@ def _build_replay_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics", action="store_true",
                         help="print the target testbed's metrics "
                              "registry after the replay")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="record spans during the replay and write "
+                             "Chrome trace_event JSON to FILE")
+    parser.add_argument("--provenance", metavar="FILE", default=None,
+                        help="record the replay's causal provenance "
+                             "graph (implies span tracing) and write "
+                             "it as JSONL to FILE")
     parser.add_argument("--json", action="store_true",
                         help="print the replay summary as JSON")
     return parser
@@ -397,7 +425,9 @@ def _main_replay(argv: List[str]) -> int:
         nfsheur=args.target_nfsheur or args.nfsheur,
         seed=args.target_seed if args.target_seed is not None
         else args.seed)
-    with observe(metrics=args.metrics) as session:
+    with observe(metrics=args.metrics,
+                 trace=args.trace is not None,
+                 provenance=args.provenance is not None) as session:
         result = replay_trace(trace, target, mode=args.mode,
                               time_scale=args.scale,
                               clients=args.clients, zipf_s=args.zipf)
@@ -415,6 +445,17 @@ def _main_replay(argv: List[str]) -> int:
     if args.metrics:
         print()
         print(session.metrics_report())
+    if args.trace is not None:
+        with open(args.trace, "w") as handle:
+            handle.write(session.trace_json())
+        if not args.json:
+            print(f"trace: {len(session.spans)} spans -> {args.trace}")
+    if args.provenance is not None:
+        with open(args.provenance, "w") as handle:
+            handle.write(session.provenance_jsonl())
+        if not args.json:
+            print(f"provenance: {len(session.prov_records)} records -> "
+                  f"{args.provenance}")
     return 0
 
 
@@ -432,6 +473,18 @@ def _build_diagnose_parser() -> argparse.ArgumentParser:
                              "(Chrome trace_event JSON)")
     parser.add_argument("--metrics", metavar="FILE", default=None,
                         help="metrics JSON written by '--metrics-out'")
+    parser.add_argument("--provenance", metavar="FILE", default=None,
+                        help="provenance JSONL written by "
+                             "'--provenance'; detectors cite causal "
+                             "chains and --op/--slowest annotate hops "
+                             "from it")
+    parser.add_argument("--op", metavar="ID", type=int, default=None,
+                        help="explain one op: walk span ID's lineage "
+                             "and print its evidence chain "
+                             "(needs --trace)")
+    parser.add_argument("--slowest", metavar="K", type=int, default=None,
+                        help="explain the K slowest ops in the trace "
+                             "(needs --trace)")
     parser.add_argument("--bench", metavar="FILE", default=None,
                         help="a 'bench --json' record to gate against "
                              "the history store")
@@ -462,20 +515,51 @@ def _main_diagnose(argv: List[str]) -> int:
         print("diagnose: --bench needs --against HISTORY",
               file=sys.stderr)
         return 2
+    if (args.op is not None or args.slowest is not None) \
+            and args.trace is None:
+        print("diagnose: --op/--slowest need --trace", file=sys.stderr)
+        return 2
     try:
         inputs = build_inputs(trace_path=args.trace,
                               metrics_path=args.metrics,
-                              bench_path=args.bench)
+                              bench_path=args.bench,
+                              provenance_path=args.provenance)
         history = (load_history(args.against)
                    if args.against is not None else None)
     except (OSError, ValueError, KeyError) as error:
         print(f"diagnose: {error}", file=sys.stderr)
         return 2
+    if args.op is not None or args.slowest is not None:
+        return _diagnose_rootcause(inputs, args)
     floor = DEFAULT_FLOOR if args.floor is None else args.floor
     report = diagnose(inputs, history=history, floor=floor)
     print(report.to_json() if args.json else report.render())
     if report.gate is not None and not report.gate.ok:
         return 1
+    return 0
+
+
+def _diagnose_rootcause(inputs, args) -> int:
+    """`diagnose --op ID` / `--slowest K`: per-op evidence chains."""
+    from .diagnose.rootcause import (explain_op, explain_slowest,
+                                     find_op, render_chains)
+    if args.op is not None:
+        located = find_op(inputs.runs, args.op)
+        if located is None:
+            print(f"diagnose: op {args.op} not in trace",
+                  file=sys.stderr)
+            return 2
+        run_index, span = located
+        chains = [explain_op(inputs.runs, run_index, span,
+                             inputs.provenance)]
+    else:
+        chains = explain_slowest(inputs.runs, args.slowest,
+                                 inputs.provenance)
+    if args.json:
+        print(json.dumps([chain.to_jsonable() for chain in chains],
+                         sort_keys=True))
+    else:
+        print(render_chains(chains))
     return 0
 
 

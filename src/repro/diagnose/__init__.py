@@ -11,7 +11,10 @@ questions a benchmarker actually has:
 * **which layer moved** — :mod:`.attribution`, critical-path
   attribution of end-to-end latency across the request-path layers,
   and :mod:`.history`, the bench-history store with a noise-aware
-  perf-regression gate.
+  perf-regression gate;
+* **why was this op slow** — :mod:`.rootcause`, per-op evidence
+  chains built from the span tree and the causal provenance graph
+  (``diagnose --op`` / ``--slowest``).
 
 Entry point: :func:`diagnose` (wired to the ``repro diagnose`` CLI
 verb).
@@ -26,12 +29,18 @@ from .history import (DEFAULT_FLOOR, DEFAULT_HISTORY_PATH, append_history,
                       load_history, relative_spread)
 from .inputs import DiagnosisInputs, build_inputs, split_runs
 from .report import DiagnosisReport, Finding, GateResult, LayerAttribution
+from .rootcause import (EvidenceChain, EvidenceHop, explain_op,
+                        explain_slowest, find_op, render_chains,
+                        slowest_ops)
 
 __all__ = [
     "DiagnosisInputs", "DiagnosisReport", "Finding", "GateResult",
     "LayerAttribution", "TrapDetector",
+    "EvidenceChain", "EvidenceHop",
     "attribute_runs", "dominant_by_config",
     "default_detectors", "run_detectors", "diagnose",
+    "explain_op", "explain_slowest", "find_op", "render_chains",
+    "slowest_ops",
     "build_inputs", "split_runs",
     "DEFAULT_FLOOR", "DEFAULT_HISTORY_PATH", "append_history",
     "bench_key", "compare_against_history", "gate_latest",

@@ -57,7 +57,11 @@ def run_detectors(inputs: DiagnosisInputs,
     findings: List[Finding] = []
     for detector in (default_detectors() if detectors is None
                      else detectors):
-        findings.extend(detector.detect(inputs))
+        detected = detector.detect(inputs)
+        if inputs.provenance:
+            for finding in detected:
+                detector.cite(inputs, finding)
+        findings.extend(detected)
     return findings
 
 

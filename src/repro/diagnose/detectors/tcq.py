@@ -35,6 +35,21 @@ class TcqReorderingDetector(TrapDetector):
     trap = "TCQ reordering masking scheduler effects"
     paper_section = "§5.2"
 
+    def cite(self, inputs: DiagnosisInputs, finding: Finding) -> None:
+        """Name slow ops the drive's firmware visibly reordered.
+
+        A citable chain has a ``disk.tcq`` hop annotated with either an
+        exact overtake count ("stalled behind N later dispatches") or
+        the queued-behind edge list naming the overtaking commands.
+        """
+        def firmware_reordered(chain) -> bool:
+            return any(hop.layer == "disk.tcq"
+                       and any("stalled behind" in note
+                               or "overtaken by" in note
+                               for note in hop.notes)
+                       for hop in chain.hops)
+        self.cite_chains(inputs, finding, firmware_reordered)
+
     def detect(self, inputs: DiagnosisInputs) -> List[Finding]:
         worst = None
         affected = 0

@@ -68,6 +68,19 @@ class ZcavDetector(TrapDetector):
     trap = "ZCAV zone drift"
     paper_section = "§5.1"
 
+    def cite(self, inputs: DiagnosisInputs, finding: Finding) -> None:
+        """Name slow ops whose lineage ends in zoned media transfers.
+
+        The causal chain makes the aggregate claim concrete: *this*
+        READ spent its time in a disk-mechanics hop whose provenance
+        note records the zone and media rate it was served at.
+        """
+        def has_zone_hop(chain) -> bool:
+            return any(hop.layer == "disk.mechanics"
+                       and any("zone" in note for note in hop.notes)
+                       for hop in chain.hops)
+        self.cite_chains(inputs, finding, has_zone_hop)
+
     def detect(self, inputs: DiagnosisInputs) -> List[Finding]:
         groups: Dict[str, List[Tuple[float, float]]] = {}
         grouped = True

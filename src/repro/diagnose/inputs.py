@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..obs.export import loads_trace
 from ..obs.metrics import merge_snapshots
+from ..obs.provenance import ProvRecord, loads_provenance
 from ..obs.span import Span
 
 
@@ -33,6 +34,9 @@ class DiagnosisInputs:
     merged: dict = field(default_factory=dict)
     #: A ``bench --json`` record, when diagnosing a benchmark point.
     bench: Optional[dict] = None
+    #: The causal provenance graph (``--provenance`` JSONL), when the
+    #: run recorded one.  Record node ids name span ids in ``runs``.
+    provenance: List[ProvRecord] = field(default_factory=list)
 
     @property
     def spans(self) -> List[Span]:
@@ -84,6 +88,12 @@ def load_metrics_file(path: str) -> Tuple[List[dict], dict]:
     return [payload], merge_snapshots([payload])
 
 
+def load_provenance_file(path: str) -> List[ProvRecord]:
+    """Read a ``--provenance`` JSONL export back into records."""
+    with open(path) as handle:
+        return loads_provenance(handle.read())
+
+
 def load_bench_file(path: str) -> dict:
     with open(path) as handle:
         record = json.load(handle)
@@ -94,7 +104,8 @@ def load_bench_file(path: str) -> dict:
 
 def build_inputs(trace_path: Optional[str] = None,
                  metrics_path: Optional[str] = None,
-                 bench_path: Optional[str] = None) -> DiagnosisInputs:
+                 bench_path: Optional[str] = None,
+                 provenance_path: Optional[str] = None) -> DiagnosisInputs:
     inputs = DiagnosisInputs()
     if trace_path is not None:
         inputs.runs = load_trace_file(trace_path)
@@ -102,4 +113,6 @@ def build_inputs(trace_path: Optional[str] = None,
         inputs.snapshots, inputs.merged = load_metrics_file(metrics_path)
     if bench_path is not None:
         inputs.bench = load_bench_file(bench_path)
+    if provenance_path is not None:
+        inputs.provenance = load_provenance_file(provenance_path)
     return inputs

@@ -26,9 +26,12 @@ rotational-gap forgiveness from the prefetch cache.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import List, Optional
 
 from ..faults.disk import DiskFaultInjector
+from ..obs.provenance import (EDGE_DISPATCHED_AFTER, EDGE_ISSUED,
+                              EDGE_QUEUED_BEHIND, QUEUED_BEHIND_FANOUT)
 from ..sim import Event, Simulator
 from .cache import SegmentedCache
 from .geometry import DiskGeometry
@@ -99,6 +102,18 @@ class DiskDrive:
         self._m_service = sim.obs.registry.histogram("disk.service_s")
         #: request id -> TCQ span while queued at the drive.
         self._tcq_obs = {}
+        # Provenance bookkeeping for the firmware queue (same shape as
+        # the kernel bufq's): per-request arrival counts, a bounded
+        # ring of recent selections, the previous selection for the
+        # dispatched-after chain, and the last service-time breakdown
+        # (the ZCAV zone/seek/rotation/transfer evidence).
+        self._prov = sim.obs.prov
+        self._prov_ins = {}
+        self._recent = deque(maxlen=QUEUED_BEHIND_FANOUT)
+        self._selections = 0
+        self._write_selections = 0
+        self._last_selection: Optional[int] = None
+        self._breakdown: Optional[dict] = None
 
         self.current_cylinder = 0
         self._queue: List[DiskRequest] = []
@@ -127,9 +142,16 @@ class DiskDrive:
         if self._obs_on:
             tracer = self.sim.obs.tracer
             if tracer.enabled:
-                self._tcq_obs[request.id] = tracer.start(
+                span = tracer.start(
                     "tcq", "disk.tcq", parent=request.trace_ctx,
                     lba=request.lba)
+                self._tcq_obs[request.id] = span
+                if self._prov.enabled:
+                    if request.trace_ctx is not None:
+                        self._prov.edge(EDGE_ISSUED, request.trace_ctx,
+                                        span)
+                    self._prov_ins[request.id] = (
+                        self._selections, self._write_selections)
         self.stats.arrival_order.append(request.id)
         self._queue.append(request)
         if self._wakeup is not None and not self._wakeup.triggered:
@@ -222,6 +244,8 @@ class DiskDrive:
                 self._m_tcq.observe(start - request.arrival)
                 tcq_span = self._tcq_obs.pop(request.id, None)
                 if tcq_span is not None:
+                    if self._prov.enabled:
+                        self._prov_select(request, tcq_span)
                     tcq_span.finish()
                 tracer = self.sim.obs.tracer
                 if tracer.enabled:
@@ -234,6 +258,9 @@ class DiskDrive:
             else:
                 mech_span = None
             duration = self._service(request)
+            if mech_span is not None and self._breakdown is not None:
+                self._prov.note(mech_span, **self._breakdown)
+                self._breakdown = None
             if self.faults is not None:
                 extra, reset = self.faults.service_penalty(
                     not request.serviced_from_cache, self.sim.now)
@@ -268,6 +295,35 @@ class DiskDrive:
                         cache_hit=request.serviced_from_cache)
             request.done.succeed(request)
 
+    def _prov_select(self, request: DiskRequest, span) -> None:
+        """Record a firmware selection's causal context (provenance).
+
+        Mirrors the kernel bufq's bookkeeping: ``dispatched-after``
+        chains firmware selections, ``queued-behind`` names the
+        commands the firmware serviced ahead of this one while it sat
+        tagged in the drive, with exact counts as a note.
+        """
+        prov = self._prov
+        ins = self._prov_ins.pop(request.id, None)
+        if self._last_selection is not None:
+            prov.edge(EDGE_DISPATCHED_AFTER, span, self._last_selection)
+        if ins is not None:
+            behind = self._selections - ins[0]
+            if behind:
+                for index, span_id, is_write, lba in self._recent:
+                    if index >= ins[0]:
+                        prov.edge(EDGE_QUEUED_BEHIND, span, span_id,
+                                  write=is_write, lba=lba)
+                prov.note(span, behind=behind,
+                          behind_writes=(self._write_selections
+                                         - ins[1]))
+        self._recent.append((self._selections, span.id,
+                             request.is_write, request.lba))
+        self._last_selection = span.id
+        self._selections += 1
+        if request.is_write:
+            self._write_selections += 1
+
     def _service(self, request: DiskRequest) -> float:
         """Compute the service time and update drive state."""
         now = self.sim.now
@@ -297,6 +353,11 @@ class DiskDrive:
             media_time = request.nsectors * geometry.sector_size / rate
             end = min(request.end_lba, geometry.total_sectors - 1)
             self.current_cylinder = geometry.cylinder_of_lba(end)
+            if self._prov.enabled:
+                self._breakdown = {
+                    "zone": zone, "media_rate": rate, "seek_s": seek,
+                    "rot_s": rot, "transfer_s": media_time,
+                    "overhead_s": overhead}
             return overhead + seek + rot + media_time
 
         lookup = self.cache.lookup(request.lba, request.nsectors, now)
@@ -306,6 +367,11 @@ class DiskDrive:
             # any active fill keeps running.
             self.stats.cache_hits += 1
             request.serviced_from_cache = True
+            if self._prov.enabled:
+                self._breakdown = {
+                    "zone": zone, "cache_hit": True,
+                    "transfer_s": nbytes / self.interface_rate,
+                    "overhead_s": overhead}
             return overhead + nbytes / self.interface_rate
 
         if lookup.hit and lookup.continuation:
@@ -323,6 +389,12 @@ class DiskDrive:
             # than its full interface transfer.
             duration = overhead + max(media_time,
                                       nbytes / self.interface_rate)
+            if self._prov.enabled:
+                self._breakdown = {
+                    "zone": zone, "media_rate": rate,
+                    "continuation": True,
+                    "transfer_s": duration - overhead,
+                    "overhead_s": overhead}
             self._finish_media_read(request, rate, now + duration)
             return duration
 
@@ -341,6 +413,11 @@ class DiskDrive:
         rate = geometry.media_rate(request.lba)
         media_time = request.nsectors * geometry.sector_size / rate
         duration = overhead + seek + rot + media_time
+        if self._prov.enabled:
+            self._breakdown = {
+                "zone": zone, "media_rate": rate, "seek_s": seek,
+                "rot_s": rot, "transfer_s": media_time,
+                "overhead_s": overhead}
         self._finish_media_read(request, rate, now + duration)
         return duration
 

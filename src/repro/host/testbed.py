@@ -94,6 +94,10 @@ class TestbedConfig:
     #: changes any simulated result.
     trace: bool = False
     metrics: bool = False
+    #: Record the causal provenance graph (op lineage edges).  Implies
+    #: ``trace`` — provenance nodes *are* span ids — and, like the other
+    #: observability flags, never perturbs the simulated run.
+    provenance: bool = False
     #: Capture the client vnode boundary into an Ellard-style trace
     #: (see :mod:`repro.replay`).  Like ``trace``/``metrics``, capture
     #: never perturbs the simulated run.
@@ -153,7 +157,9 @@ class LocalTestbed:
         self.obs = Observability(
             trace=config.trace or (session is not None and session.trace),
             metrics=config.metrics or (session is not None
-                                       and session.metrics))
+                                       and session.metrics),
+            provenance=config.provenance or (session is not None
+                                             and session.provenance))
         self.sim = Simulator(obs=self.obs)
         self.streams = RandomStreams(config.seed)
         #: Built once per run so every injector draws from its own
@@ -223,6 +229,17 @@ class LocalTestbed:
                        lambda: float(self.config.partition))
         registry.gauge("host.server.cpu_s",
                        lambda: self.machine.cpu_time_consumed)
+        # Calendar-kernel churn: resizes, tombstoned cancels, and parked
+        # records.  The heap kernel has none of these attributes and
+        # reports 0 — runs can correlate scheduler maintenance with op
+        # stalls regardless of kernel.
+        queue = sim._queue
+        registry.gauge("kernel.calendar.resizes",
+                       lambda: float(getattr(queue, "resizes", 0)))
+        registry.gauge("kernel.calendar.tombstones",
+                       lambda: float(getattr(queue, "tombstones", 0)))
+        registry.gauge("kernel.calendar.freelist_depth",
+                       lambda: float(getattr(queue, "freelist_depth", 0)))
         # Per-zone throughput: the ZCAV breakdown of §5.1, computed from
         # the always-on byte counters the drive keeps.
         for index in range(len(drive.geometry.zones)):

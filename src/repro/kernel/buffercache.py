@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..disk.request import DiskRequest
+from ..obs.provenance import (EDGE_COALESCED_WITH, EDGE_ISSUED,
+                              EDGE_SERVED_FROM_CACHE)
 from ..sim import Event, Simulator
 from .iosched import DiskIoScheduler
 
@@ -82,6 +84,9 @@ class BufferCache:
         self._obs_on = sim.obs.enabled
         #: Miss fetch time, submit-to-fill.
         self._m_fetch = sim.obs.registry.histogram("kernel.cache.fetch_s")
+        #: Provenance-only memory of which fetch span filled each
+        #: resident block (hits cite the fetch that warmed them).
+        self._fill_ctx: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -179,16 +184,27 @@ class BufferCache:
         waits: List[Event] = []
         run_start: Optional[int] = None
         run_len = 0
+        prov = self.sim.obs.prov
         for blkno in range(start_blkno, start_blkno + nblocks):
             entry = self._entries.get(blkno)
             if entry is not None and entry.state == _Entry.READY:
                 self.stats.hits += 1
                 self._entries.move_to_end(blkno)
+                if prov.enabled and parent is not None:
+                    filler = self._fill_ctx.get(blkno)
+                    if filler is not None:
+                        prov.edge(EDGE_SERVED_FROM_CACHE, parent,
+                                  filler, blkno=blkno)
                 self._flush_run(run_start, run_len, waits, stream, parent)
                 run_start, run_len = None, 0
             elif entry is not None:
                 self.stats.waits_on_inflight += 1
                 waits.append(entry.event)
+                if prov.enabled and parent is not None:
+                    filler = self._fill_ctx.get(blkno)
+                    if filler is not None:
+                        prov.edge(EDGE_COALESCED_WITH, parent,
+                                  filler, blkno=blkno)
                 self._flush_run(run_start, run_len, waits, stream, parent)
                 run_start, run_len = None, 0
             else:
@@ -217,6 +233,10 @@ class BufferCache:
             stream=stream)
         if self._obs_on:
             self._observe_io(request, "fetch", parent)
+            prov = self.sim.obs.prov
+            if prov.enabled and request.trace_ctx is not None:
+                for blkno in range(run_start, run_start + run_len):
+                    self._fill_ctx[blkno] = request.trace_ctx
         done = self.iosched.submit(request)
         self.stats.disk_reads_issued += 1
         self.stats.blocks_fetched += run_len
@@ -245,6 +265,8 @@ class BufferCache:
                                 detached=True, lba=request.lba,
                                 nsectors=request.nsectors)
             request.trace_ctx = span.id
+            if parent is not None:
+                self.sim.obs.prov.edge(EDGE_ISSUED, parent, span)
         else:
             span = None
         started = self.sim.now

@@ -29,6 +29,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Protocol, Tuple
 
+from ..obs.provenance import EDGE_ISSUED, EDGE_RETRIED_AS
 from ..sim import Event, Simulator
 
 #: Approximate bytes of RPC + NFS call/reply headers on the wire.
@@ -117,6 +118,17 @@ class RpcClient:
         self.calls = 0
         self.retransmitted = 0
         self.timeouts = 0
+        #: Per-xid transmission-attempt bookkeeping (traced runs only).
+        #: Each attempt window closes exactly once — a reply that lands
+        #: after a retransmission was issued must not count the same
+        #: wait twice, so closes are deduped by (xid, attempt).
+        self._attempt_obs: Dict[int, dict] = {}
+        #: Closed attempt windows, in close order:
+        #: (xid, attempt, reason, elapsed_s).  The lossy-UDP regression
+        #: test asserts each (xid, attempt) appears at most once.
+        self.attempt_log: list = []
+        self._m_attempt = sim.obs.registry.histogram(
+            "rpc.client.attempt_rtt_s")
         in_transport.bind(self._on_reply)
 
     def backoff_schedule(self, attempt: int) -> float:
@@ -155,6 +167,18 @@ class RpcClient:
             # without touching simulation state.
             reply.add_callback(
                 lambda ev: span.finish(ok=ev.error is None))
+            state = {"sent": [self.sim.now], "markers": [], "closed": set()}
+            self._attempt_obs[xid] = state
+            prov = self.sim.obs.prov
+            if prov.enabled:
+                if parent is not None:
+                    prov.edge(EDGE_ISSUED, parent, span)
+                # Instant marker span per transmission attempt: the
+                # provenance node retried-as edges point at.
+                marker = tracer.start("xmit", "net.rpc", parent=span,
+                                      xid=xid, attempt=0)
+                marker.finish()
+                state["markers"].append(marker)
         message = RpcMessage(xid, body, payload_bytes + RPC_CALL_HEADER,
                              client=self.name, trace_ctx=trace_ctx)
         self.out.send(message, message.payload_bytes)
@@ -179,19 +203,75 @@ class RpcClient:
                 # forget the xid (a late reply is dropped as unknown).
                 self._pending.pop(message.xid, None)
                 self.timeouts += 1
+                self._finish_attempts(message.xid, "timeout")
                 reply.fail(RpcTimeout(message.xid, attempt + 1,
                                       self.sim.now - started))
                 return None
             attempt += 1
             self.retransmitted += 1
+            self._retry_attempt(message.xid)
             self.out.send(message, message.payload_bytes)
+
+    def _close_attempt(self, xid: int, reason: str) -> None:
+        """Close the xid's newest attempt window, exactly once.
+
+        The dedupe key is (xid, attempt): a reply that arrives after a
+        retransmission was issued, a retransmit racing a same-timestamp
+        reply, or a dupreq-cache resend may each try to close a window
+        that is already closed — only the first close records latency.
+        """
+        state = self._attempt_obs.get(xid)
+        if state is None:
+            return
+        attempt = len(state["sent"]) - 1
+        if (xid, attempt) in state["closed"]:
+            return
+        state["closed"].add((xid, attempt))
+        elapsed = self.sim.now - state["sent"][attempt]
+        self.attempt_log.append((xid, attempt, reason, elapsed))
+        # Karn's rule: a reply to a retransmitted call is ambiguous (it
+        # may answer any copy), so only never-retransmitted calls yield
+        # an RTT sample.
+        sampled = reason == "reply" and attempt == 0
+        if sampled:
+            self._m_attempt.observe(elapsed)
+        prov = self.sim.obs.prov
+        if prov.enabled and state["markers"]:
+            prov.note(state["markers"][attempt], attempt=attempt,
+                      closed=reason, elapsed_s=elapsed,
+                      rtt_sampled=sampled)
+
+    def _retry_attempt(self, xid: int) -> None:
+        """A retransmission supersedes the open attempt window."""
+        state = self._attempt_obs.get(xid)
+        if state is None:
+            return
+        self._close_attempt(xid, "superseded")
+        state["sent"].append(self.sim.now)
+        prov = self.sim.obs.prov
+        if prov.enabled and state["markers"]:
+            previous = state["markers"][-1]
+            marker = self.sim.obs.tracer.start(
+                "xmit", "net.rpc", parent=previous.parent_id, xid=xid,
+                attempt=len(state["markers"]))
+            marker.finish()
+            state["markers"].append(marker)
+            prov.edge(EDGE_RETRIED_AS, previous, marker)
+
+    def _finish_attempts(self, xid: int, reason: str) -> None:
+        """Terminal close (reply or timeout): close and forget the xid."""
+        self._close_attempt(xid, reason)
+        self._attempt_obs.pop(xid, None)
 
     def _on_reply(self, message: RpcMessage) -> None:
         pending = self._pending.pop(message.xid, None)
         if pending is not None and not pending.triggered:
+            self._finish_attempts(message.xid, "reply")
             pending.succeed(message.body)
         # Late or duplicate replies (post-retransmit, post-timeout) are
-        # dropped, as real RPC clients drop replies with unknown xids.
+        # dropped, as real RPC clients drop replies with unknown xids —
+        # and their attempt windows were already closed, so no latency
+        # is double-counted.
 
 
 #: Sentinel marking a dupreq-cache entry whose handler is still running.
@@ -289,6 +369,9 @@ class RpcServer:
             span = tracer.start(f"serve:{type(message.body).__name__}",
                                 "net.rpc", parent=message.trace_ctx,
                                 detached=True, xid=message.xid)
+            if message.trace_ctx is not None:
+                self.sim.obs.prov.edge(EDGE_ISSUED, message.trace_ctx,
+                                       span)
         else:
             span = None
         if self._handler_takes_span:

@@ -26,6 +26,7 @@ from typing import Dict, Optional, Tuple, Union
 
 from ..host.machine import Machine
 from ..net.rpc import RpcClient, RpcTimeout
+from ..obs.provenance import EDGE_COALESCED_WITH, EDGE_SERVED_FROM_CACHE
 from ..readahead import (DefaultHeuristic, Heuristic, ReadState,
                          readahead_blocks)
 from ..sim import Event, Resource, Simulator
@@ -224,6 +225,10 @@ class NfsMount:
         self._m_rtt: Dict[str, object] = {}
         #: (fh.id, block#) -> "ready" or the in-flight completion Event.
         self._cache: Dict[Tuple[int, int], Union[str, Event]] = {}
+        #: Provenance-only memory of which span's fetch filled each
+        #: cached block, so a later hit can cite the fetch that warmed
+        #: it.  Populated only when the provenance graph is enabled.
+        self._fetch_ctx: Dict[Tuple[int, int], int] = {}
         #: Per-file issue counters (stamped onto requests so the server
         #: side can measure reordering, as the paper's instrumentation
         #: did).
@@ -1032,10 +1037,21 @@ class NfsMount:
                       parent=None):
         key = (nfile.fh.id, block)
         entry = self._cache.get(key)
+        prov = self.sim.obs.prov
         if entry == "ready":
             self.stats.cache_hits += 1
+            if prov.enabled and parent is not None:
+                filler = self._fetch_ctx.get(key)
+                if filler is not None:
+                    prov.edge(EDGE_SERVED_FROM_CACHE, parent, filler,
+                              block=block)
             return None
         if isinstance(entry, Event):
+            if prov.enabled and parent is not None:
+                filler = self._fetch_ctx.get(key)
+                if filler is not None:
+                    prov.edge(EDGE_COALESCED_WITH, parent, filler,
+                              block=block)
             started = self.sim.now
             yield entry
             self._m_nfsiod_wait.observe(self.sim.now - started)
@@ -1048,6 +1064,9 @@ class NfsMount:
         key = (nfile.fh.id, block)
         done = self.sim.event(name=f"{self.name}.blk{block}")
         self._cache[key] = done
+        if self.sim.obs.prov.enabled and parent is not None \
+                and parent.id is not None:
+            self._fetch_ctx[key] = parent.id
         config = self.config
         bs = config.read_size
         offset = block * bs

@@ -26,6 +26,7 @@ from ..faults.server import CRASH, ServerFaultInjector
 from ..ffs import DIRENT_BYTES, Directory, FileSystem, Inode
 from ..host.machine import Machine
 from ..net.rpc import RpcServer
+from ..obs.provenance import EDGE_ISSUED
 from ..readahead import DefaultHeuristic, Heuristic
 from ..sim import Resource, Simulator
 from .fhandle import FileHandle
@@ -343,6 +344,13 @@ class NfsServer:
         if tracer.enabled:
             nfsd_span = tracer.start(f"nfsd:{op}", "server.nfsd",
                                      parent=span)
+            prov = self.sim.obs.prov
+            if prov.enabled and span is not None:
+                prov.edge(EDGE_ISSUED, span, nfsd_span)
+                # Pool occupancy at slot grant: how contended this op's
+                # nfsd slot was (pure reads of resource state).
+                prov.note(nfsd_span, nfsds_busy=self.nfsds.in_use,
+                          nfsds_queued=self.nfsds.queued)
         else:
             nfsd_span = None
         started = self.sim.now

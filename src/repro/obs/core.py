@@ -12,24 +12,36 @@ bit-identical to an uninstrumented one.
 from __future__ import annotations
 
 from .metrics import NULL_REGISTRY, MetricsRegistry
+from .provenance import NULL_PROVENANCE, ProvenanceGraph
 from .span import NULL_TRACER, SpanTracer
 
 
 class Observability:
-    """Tracer + registry for one simulator/testbed."""
+    """Tracer + registry + provenance graph for one simulator/testbed.
 
-    def __init__(self, trace: bool = False, metrics: bool = False):
-        self.tracer = SpanTracer() if trace else NULL_TRACER
+    Provenance edges connect span ids, so ``provenance=True`` forces
+    tracing on — lineage between spans that were never recorded would
+    dangle.
+    """
+
+    def __init__(self, trace: bool = False, metrics: bool = False,
+                 provenance: bool = False):
+        self.tracer = SpanTracer() if (trace or provenance) \
+            else NULL_TRACER
         self.registry = MetricsRegistry() if metrics else NULL_REGISTRY
+        self.prov = ProvenanceGraph() if provenance else NULL_PROVENANCE
 
     @property
     def enabled(self) -> bool:
-        return self.tracer.enabled or self.registry.enabled
+        return (self.tracer.enabled or self.registry.enabled
+                or self.prov.enabled)
 
     def bind(self, sim) -> None:
-        """Point the tracer's clock at ``sim.now`` (no-op when off)."""
+        """Point the instrument clocks at ``sim.now`` (no-op when off)."""
         if self.tracer.enabled:
             self.tracer.bind_clock(lambda: sim.now)
+        if self.prov.enabled:
+            self.prov.bind_clock(lambda: sim.now)
 
 
 #: Shared all-off bundle; the default for every Simulator.

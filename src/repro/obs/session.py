@@ -23,7 +23,9 @@ from typing import Dict, List, Optional
 
 from .core import Observability
 from .metrics import merge_snapshots, render_snapshot
-from .export import dumps_trace
+from .export import dumps_trace, to_trace_events
+from .provenance import (ProvEdge, ProvRecord, dumps_provenance,
+                         flow_events, to_dot)
 from .span import Span
 
 _ACTIVE: Optional["ObsSession"] = None
@@ -32,9 +34,14 @@ _ACTIVE: Optional["ObsSession"] = None
 class ObsSession:
     """Collects spans and metrics snapshots across an experiment's runs."""
 
-    def __init__(self, trace: bool = False, metrics: bool = False):
-        self.trace = trace
+    def __init__(self, trace: bool = False, metrics: bool = False,
+                 provenance: bool = False):
+        self.trace = trace or provenance
         self.metrics = metrics
+        self.provenance = provenance
+        #: Causal edges and notes from every run, in record order,
+        #: node ids offset in lockstep with the span ids they name.
+        self.prov_records: List[ProvRecord] = []
         #: Per-run span streams.  Each run has its own simulator (its
         #: clock restarts at zero), so runs are separate streams:
         #: well-formedness is a per-run property.
@@ -69,6 +76,18 @@ class ObsSession:
                 if span.parent_id is not None:
                     span.parent_id += base
                 span.args.setdefault("run", run_index)
+            if obs.prov.enabled:
+                # Provenance records name span ids: offset them by the
+                # same base so the edges keep pointing at their spans,
+                # and stamp the run (the flow export's process id).
+                for record in obs.prov.records:
+                    if isinstance(record, ProvEdge):
+                        record.src += base
+                        record.dst += base
+                    else:
+                        record.node += base
+                    record.run = run_index
+                self.prov_records.extend(obs.prov.records)
             self._id_base += obs.tracer.started
             self.runs.append(obs.tracer.spans)
         if obs.registry.enabled:
@@ -78,7 +97,22 @@ class ObsSession:
             self.snapshots.append(snapshot)
 
     def trace_json(self) -> str:
-        return dumps_trace(self.spans)
+        """Trace-event JSON; provenance runs gain flow-event arrows."""
+        if not self.prov_records:
+            return dumps_trace(self.spans)
+        payload = to_trace_events(self.spans)
+        payload["traceEvents"].extend(
+            flow_events(self.prov_records, self.spans))
+        return json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"))
+
+    def provenance_jsonl(self) -> str:
+        """The session's causal graph as provenance JSONL."""
+        return dumps_provenance(self.prov_records)
+
+    def provenance_dot(self) -> str:
+        """The session's causal graph as a Graphviz digraph."""
+        return to_dot(self.prov_records, self.spans)
 
     def metrics_json(self) -> str:
         """Per-run snapshots plus the merged view, as deterministic JSON.
@@ -106,11 +140,13 @@ class ObsSession:
 
 
 @contextmanager
-def observe(trace: bool = False, metrics: bool = False):
+def observe(trace: bool = False, metrics: bool = False,
+            provenance: bool = False):
     """Make a session active; testbeds built inside pick it up."""
     global _ACTIVE
     previous = _ACTIVE
-    session = ObsSession(trace=trace, metrics=metrics)
+    session = ObsSession(trace=trace, metrics=metrics,
+                         provenance=provenance)
     _ACTIVE = session
     try:
         yield session

@@ -67,7 +67,7 @@ class CalendarQueue:
 
     __slots__ = ("_buckets", "_heads", "_nbuckets", "_width", "_size",
                  "_seq", "_vday", "_free", "_grow_at", "_shrink_at",
-                 "_cindex", "_cbucket", "_cend")
+                 "_cindex", "_cbucket", "_cend", "resizes", "tombstones")
 
     def __init__(self, width: Optional[float] = None,
                  nbuckets: int = MIN_BUCKETS):
@@ -104,11 +104,20 @@ class CalendarQueue:
         self._cindex = 0
         self._cbucket = self._buckets[0]
         self._cend = -1.0
+        #: Lifetime churn counters, exported as pull-gauges so runs can
+        #: correlate scheduler maintenance with op stalls.
+        self.resizes = 0
+        self.tombstones = 0
 
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
         return self._size
+
+    @property
+    def freelist_depth(self) -> int:
+        """Popped records parked for reuse (see ``_free``)."""
+        return len(self._free)
 
     def _day_of(self, when: float) -> int:
         """The virtual day whose ``[day*w, (day+1)*w)`` window holds
@@ -183,6 +192,7 @@ class CalendarQueue:
             raise ValueError("record already cancelled")
         record[2] = None
         self._size -= 1
+        self.tombstones += 1
         if self._shrink_at and self._size < self._shrink_at:
             self._resize(self._nbuckets // 2)
 
@@ -371,6 +381,7 @@ class CalendarQueue:
         return 2.0 * span / (len(sample) - 1)
 
     def _resize(self, nbuckets: int) -> None:
+        self.resizes += 1
         records = self._live_records()
         # Dequeue order is insensitive to bucket layout, so sorting here
         # is purely an implementation convenience for rebuild.
