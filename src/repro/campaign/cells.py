@@ -29,6 +29,7 @@ SPEC_VERSION = 1
 #: TestbedConfig knobs a campaign spec may carry, with their defaults.
 _TESTBED_KEYS = ("drive", "partition", "transport", "server_heuristic",
                  "nfsheur", "num_clients", "mount_verifier_recovery",
+                 "metadata_journal", "meta_ack_before_intent",
                  "acregmin", "acregmax", "acdirmin", "acdirmax",
                  "close_to_open", "readdir_count", "seed")
 
@@ -107,13 +108,14 @@ def run_bench_cell(spec: CampaignSpec, index: int) -> dict:
 
 def run_chaos_cell(spec: CampaignSpec, index: int) -> dict:
     """One fuzzed schedule judged by the oracles; mirrors run_campaign."""
-    from ..chaos import ChaosWorkload, ScheduleFuzzer, run_chaos
+    from ..chaos import (ChaosWorkload, ScheduleFuzzer, run_chaos,
+                         workload_from_jsonable)
     params = spec.params
     fuzzer = ScheduleFuzzer(params.get("seed", 0),
                             horizon=params.get("horizon", 20.0),
                             max_events=params.get("max_events", 4))
     schedule = fuzzer.schedule(index)
-    workload = ChaosWorkload.from_jsonable(params["workload"]) \
+    workload = workload_from_jsonable(params["workload"]) \
         if "workload" in params else ChaosWorkload()
     config = _testbed_config(params, index)
     result = run_chaos(config, schedule, workload)

@@ -183,14 +183,19 @@ def chaos_spec(budget: int, *, transport: str = "udp",
                heuristic: str = "default", nfsheur: str = "default",
                clients: int = 2, horizon: float = 20.0,
                max_events: int = 4, recovery: bool = True,
-               seed: int = 0, workload: Optional[dict] = None
-               ) -> CampaignSpec:
+               seed: int = 0, workload: Optional[dict] = None,
+               metadata_journal: bool = True,
+               ack_before_intent: bool = False) -> CampaignSpec:
     params = {"transport": transport, "server_heuristic": heuristic,
               "nfsheur": nfsheur, "num_clients": clients,
               "horizon": horizon, "max_events": max_events,
               "mount_verifier_recovery": recovery, "seed": seed}
     if workload is not None:
         params["workload"] = workload
+    if not metadata_journal:
+        params["metadata_journal"] = False
+    if ack_before_intent:
+        params["meta_ack_before_intent"] = True
     return CampaignSpec(kind="chaos", cells=budget, params=params)
 
 
@@ -247,10 +252,10 @@ def shrink_and_bundle(spec: CampaignSpec, record: dict,
     bundle details (this part is post-fold reporting, not the fold).
     """
     from ..chaos import (ChaosWorkload, ScheduleFuzzer, run_chaos,
-                         shrink, write_bundle)
+                         shrink, workload_from_jsonable, write_bundle)
     from ..host.testbed import TestbedConfig
     params = spec.params
-    workload = ChaosWorkload.from_jsonable(params["workload"]) \
+    workload = workload_from_jsonable(params["workload"]) \
         if "workload" in params else ChaosWorkload()
     fuzzer = ScheduleFuzzer(params["seed"], horizon=params["horizon"],
                             max_events=params["max_events"])
@@ -259,6 +264,9 @@ def shrink_and_bundle(spec: CampaignSpec, record: dict,
         server_heuristic=params["server_heuristic"],
         nfsheur=params["nfsheur"], num_clients=params["num_clients"],
         mount_verifier_recovery=params["mount_verifier_recovery"],
+        metadata_journal=params.get("metadata_journal", True),
+        meta_ack_before_intent=params.get("meta_ack_before_intent",
+                                          False),
         seed=params["seed"])
     os.makedirs(bundle_dir, exist_ok=True)
     for entry in record["distinct_failures"]:

@@ -13,8 +13,13 @@ from .bundle import (BundleError, ReplayOutcome, bundle_dict,
                      write_bundle)
 from .engine import (CampaignRun, ChaosResult, LIVENESS_GRACE,
                      run_campaign, run_chaos)
-from .oracles import (ORACLE_NAMES, OracleInputs, OracleResult,
-                      evaluate_oracles, failed_oracle_names)
+from .metadata import (MetadataWorkload, MetaOpsJournal, MixedWorkload,
+                       metadata_verifier, metadata_worker,
+                       workload_from_jsonable)
+from .oracles import (METADATA_ORACLE_NAMES, MetadataOracleInputs,
+                      ORACLE_NAMES, OracleInputs, OracleResult,
+                      evaluate_metadata_oracles, evaluate_oracles,
+                      failed_oracle_names)
 from .schedule import (ChaosSchedule, FAULT_KINDS, FaultEvent,
                        ScheduleFuzzer)
 from .shrink import ShrinkResult, shrink
@@ -25,10 +30,14 @@ __all__ = [
     "BundleError", "CampaignRun", "ChaosJournal", "ChaosResult",
     "ChaosSchedule",
     "ChaosWorkload", "FAULT_KINDS", "FaultEvent", "LIVENESS_GRACE",
+    "METADATA_ORACLE_NAMES", "MetaOpsJournal", "MetadataOracleInputs",
+    "MetadataWorkload", "MixedWorkload",
     "ORACLE_NAMES", "OracleInputs", "OracleResult", "ReplayOutcome",
     "ScheduleFuzzer", "ShrinkResult", "bundle_dict",
     "chaos_verifier", "chaos_worker", "config_from_bundle",
-    "evaluate_oracles", "failed_oracle_names", "read_bundle",
+    "evaluate_metadata_oracles",
+    "evaluate_oracles", "failed_oracle_names", "metadata_verifier",
+    "metadata_worker", "read_bundle",
     "replay_bundle", "run_campaign", "run_chaos", "shrink",
-    "write_bundle",
+    "workload_from_jsonable", "write_bundle",
 ]

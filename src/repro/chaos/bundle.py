@@ -7,7 +7,11 @@ oracles failed, and the run's canonical fingerprint.  ``chaos replay``
 re-executes the bundle and reports whether the same fingerprint (hence
 the byte-identical run) came back.
 
-Version 1.  Unknown versions are rejected loudly rather than
+Version 1 is the write workload's format and is frozen: a v1 bundle
+written before the metadata campaigns existed still replays byte for
+byte.  Version 2 adds the workload ``kind`` discriminator and the two
+metadata-journal config knobs; metadata and mixed workloads always
+write v2.  Unknown versions are rejected loudly rather than
 misinterpreted.
 """
 
@@ -19,10 +23,13 @@ from typing import Union
 
 from ..host.testbed import TestbedConfig
 from .engine import ChaosResult, run_chaos
+from .metadata import workload_from_jsonable
 from .schedule import ChaosSchedule
 from .workload import ChaosWorkload
 
 BUNDLE_VERSION = 1
+BUNDLE_VERSION_META = 2
+SUPPORTED_VERSIONS = (BUNDLE_VERSION, BUNDLE_VERSION_META)
 BUNDLE_KIND = "chaos-bundle"
 
 
@@ -38,18 +45,30 @@ _CONFIG_FIELDS = ("drive", "partition", "transport", "server_heuristic",
                   "num_clients", "mount_verifier_recovery",
                   "dupreq_cache_size", "seed")
 
+#: Version-2 bundles additionally pin the metadata-journal knobs: a
+#: shrunk ack-before-intent failure replays with the bug re-armed.
+_CONFIG_FIELDS_V2 = _CONFIG_FIELDS + ("metadata_journal",
+                                      "meta_ack_before_intent")
 
-def bundle_dict(config: TestbedConfig, workload: ChaosWorkload,
+
+def bundle_dict(config: TestbedConfig, workload,
                 schedule: ChaosSchedule,
                 result: ChaosResult) -> dict:
-    """The bundle as a JSON-ready dict."""
-    config_part = {name: getattr(config, name)
-                   for name in _CONFIG_FIELDS}
+    """The bundle as a JSON-ready dict.
+
+    A plain write workload produces a version-1 bundle — the frozen
+    pre-metadata format; metadata and mixed workloads produce v2.
+    """
+    if isinstance(workload, ChaosWorkload):
+        version, fields = BUNDLE_VERSION, _CONFIG_FIELDS
+    else:
+        version, fields = BUNDLE_VERSION_META, _CONFIG_FIELDS_V2
+    config_part = {name: getattr(config, name) for name in fields}
     config_part["nfsheur"] = (config.nfsheur
                               if isinstance(config.nfsheur, str)
                               else "custom")
     return {
-        "version": BUNDLE_VERSION,
+        "version": version,
         "kind": BUNDLE_KIND,
         "config": config_part,
         "workload": workload.to_jsonable(),
@@ -60,7 +79,7 @@ def bundle_dict(config: TestbedConfig, workload: ChaosWorkload,
 
 
 def write_bundle(path: str, config: TestbedConfig,
-                 workload: ChaosWorkload, schedule: ChaosSchedule,
+                 workload, schedule: ChaosSchedule,
                  result: ChaosResult) -> dict:
     data = bundle_dict(config, workload, schedule, result)
     with open(path, "w") as handle:
@@ -93,7 +112,7 @@ def read_bundle(path: str) -> dict:
                           f"JSON object)")
     if data.get("kind") != BUNDLE_KIND:
         raise BundleError(f"{path}: not a chaos bundle")
-    if data.get("version") != BUNDLE_VERSION:
+    if data.get("version") not in SUPPORTED_VERSIONS:
         raise BundleError(f"{path}: unsupported bundle version "
                           f"{data.get('version')!r}")
     missing = [key for key in _REQUIRED_KEYS if key not in data]
@@ -140,7 +159,7 @@ def replay_bundle(source: Union[str, dict]) -> ReplayOutcome:
     data = read_bundle(source) if isinstance(source, str) else source
     config = config_from_bundle(data)
     try:
-        workload = ChaosWorkload.from_jsonable(data["workload"])
+        workload = workload_from_jsonable(data["workload"])
         schedule = ChaosSchedule.from_jsonable(data["schedule"])
     except (KeyError, TypeError, ValueError) as error:
         raise BundleError(f"bundle workload/schedule is not usable: "

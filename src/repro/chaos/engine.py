@@ -23,7 +23,10 @@ from typing import Dict, List, Optional, Tuple
 
 from ..host.testbed import TestbedConfig, build_nfs_testbed
 from ..sim.rand import derive_seed
-from .oracles import (OracleInputs, OracleResult, evaluate_oracles,
+from .metadata import (MetadataWorkload, MetaOpsJournal, MixedWorkload,
+                       metadata_verifier, metadata_worker)
+from .oracles import (MetadataOracleInputs, OracleInputs, OracleResult,
+                      evaluate_metadata_oracles, evaluate_oracles,
                       failed_oracle_names)
 from .schedule import ChaosSchedule, ScheduleFuzzer
 from .workload import (ChaosJournal, ChaosWorkload, chaos_verifier,
@@ -71,81 +74,173 @@ def _canonical_fingerprint(payload: dict) -> str:
 
 def run_chaos(config: TestbedConfig, schedule: ChaosSchedule,
               workload: Optional[ChaosWorkload] = None) -> ChaosResult:
-    """Execute one schedule against one testbed config."""
+    """Execute one schedule against one testbed config.
+
+    ``workload`` selects the campaign kind: a :class:`ChaosWorkload`
+    (writes), a :class:`MetadataWorkload` (namespace mutations), or a
+    :class:`MixedWorkload` (both at once, same clients, same boots).
+    The write kind's fingerprint payload is frozen — a version-1 bundle
+    replays byte-identically.
+    """
     workload = workload or ChaosWorkload()
+    is_mixed = isinstance(workload, MixedWorkload)
+    write_wl = workload.write if is_mixed else (
+        workload if isinstance(workload, ChaosWorkload) else None)
+    meta_wl = workload.metadata if is_mixed else (
+        workload if isinstance(workload, MetadataWorkload) else None)
+    if write_wl is None and meta_wl is None:
+        raise TypeError(f"unsupported chaos workload {workload!r}")
+
     spec = schedule.to_fault_spec()
     run_config = replace(config,
                          faults=spec if spec.any_faults else None)
     testbed = build_nfs_testbed(run_config)
     bs = run_config.rsize
-    file_names = [f"chaos{index}" for index in range(workload.files)]
-    for name in file_names:
-        testbed.server.export_file(name, workload.file_blocks * bs)
 
     journal = ChaosJournal()
-    workers = []
-    for index, mount in enumerate(testbed.mounts):
-        rng = random.Random(
-            derive_seed(run_config.seed, f"chaos-client{index}"))
-        process = testbed.sim.spawn(
-            chaos_worker(testbed.sim, mount, index, len(testbed.mounts),
-                         file_names, workload, rng, journal),
-            name=f"chaos-worker{index}")
-        workers.append(process)
     final_reads: Dict[Tuple[str, int], int] = {}
-    verifier = testbed.sim.spawn(
-        chaos_verifier(testbed.sim, testbed.mounts[0], workers, journal,
-                       final_reads),
-        name="chaos-verifier")
+    workers = []
+    verifiers = []
+    if write_wl is not None:
+        file_names = [f"chaos{index}"
+                      for index in range(write_wl.files)]
+        for name in file_names:
+            testbed.server.export_file(name, write_wl.file_blocks * bs)
+        for index, mount in enumerate(testbed.mounts):
+            rng = random.Random(
+                derive_seed(run_config.seed, f"chaos-client{index}"))
+            process = testbed.sim.spawn(
+                chaos_worker(testbed.sim, mount, index,
+                             len(testbed.mounts), file_names, write_wl,
+                             rng, journal),
+                name=f"chaos-worker{index}")
+            workers.append(process)
+        verifiers.append(testbed.sim.spawn(
+            chaos_verifier(testbed.sim, testbed.mounts[0], workers,
+                           journal, final_reads),
+            name="chaos-verifier"))
+
+    meta_journal = MetaOpsJournal()
+    meta_observed: Dict[str, str] = {}
+    meta_workers = []
+    if meta_wl is not None:
+        dir_names = [f"d{index}" for index in range(meta_wl.dirs)]
+        for name in dir_names:
+            # One seed file per directory: creates the directory and
+            # keeps it LOOKUP-able even when every fuzzed file in it
+            # has been removed.
+            testbed.server.export_file(f"{name}/seed", bs)
+        for index, mount in enumerate(testbed.mounts):
+            rng = random.Random(
+                derive_seed(run_config.seed, f"chaos-meta{index}"))
+            process = testbed.sim.spawn(
+                metadata_worker(testbed.sim, mount, index, dir_names,
+                                meta_wl, rng, meta_journal),
+                name=f"chaos-meta{index}")
+            meta_workers.append(process)
+        verifiers.append(testbed.sim.spawn(
+            metadata_verifier(testbed.sim, testbed.mounts[0],
+                              meta_workers, meta_journal,
+                              meta_observed),
+            name="chaos-meta-verifier"))
 
     testbed.sim.run(until=schedule.horizon + LIVENESS_GRACE)
-    for process in workers + [verifier]:
+    for process in workers + meta_workers + verifiers:
         if process.error is not None:
             raise process.error
-
-    inputs = OracleInputs(
-        processes=[(p.name, p.finished) for p in workers]
-        + [(verifier.name, verifier.finished)],
-        journal_durable=dict(journal.durable),
-        final_reads=dict(final_reads),
-        ryw_violations=list(journal.ryw_violations),
-        duplicate_executions=sum(s.duplicate_executions
-                                 for s in testbed.rpc_servers))
-    oracles = evaluate_oracles(inputs)
+    processes = [(p.name, p.finished)
+                 for p in workers + meta_workers + verifiers]
 
     mounts = testbed.mounts
-    counters = {
-        "writes": sum(m.stats.writes for m in mounts),
-        "stable_writes": sum(m.stats.stable_writes for m in mounts),
-        "commits": sum(m.stats.commits for m in mounts),
-        "rpc_writes": sum(m.stats.rpc_writes for m in mounts),
-        "verifier_resends": sum(m.stats.verifier_resends
-                                for m in mounts),
-        "commit_retries": sum(m.stats.commit_retries for m in mounts),
+    server = testbed.server
+    duplicate_executions = sum(s.duplicate_executions
+                               for s in testbed.rpc_servers)
+    shared_counters = {
         "reboots_observed": sum(m.stats.server_reboots_observed
                                 for m in mounts),
-        "server_boot_epoch": testbed.server.boot_epoch,
+        "server_boot_epoch": server.boot_epoch,
         "rpc_retransmits": sum(c.retransmitted
                                for c in testbed.rpc_clients),
         "rpc_timeouts": sum(c.timeouts for c in testbed.rpc_clients),
         "dupreq_hits": sum(s.dupreq_hits for s in testbed.rpc_servers),
         "dupreq_evictions": sum(s.dupreq_evictions
                                 for s in testbed.rpc_servers),
-        "duplicate_executions": inputs.duplicate_executions,
+        "duplicate_executions": duplicate_executions,
     }
 
+    oracles: Tuple[OracleResult, ...] = ()
+    counters: Dict[str, int] = {}
     payload = {
         "schedule": schedule.to_jsonable(),
         "workload": workload.to_jsonable(),
-        "oracles": [o.to_jsonable() for o in oracles],
-        "counters": dict(sorted(counters.items())),
-        "journal": {f"{name}:{block}": token
-                    for (name, block), token
-                    in sorted(journal.durable.items())},
-        "final_reads": {f"{name}:{block}": token
-                        for (name, block), token
-                        in sorted(final_reads.items())},
     }
+
+    if write_wl is not None:
+        inputs = OracleInputs(
+            processes=processes,
+            journal_durable=dict(journal.durable),
+            final_reads=dict(final_reads),
+            ryw_violations=list(journal.ryw_violations),
+            duplicate_executions=duplicate_executions)
+        oracles += evaluate_oracles(inputs)
+        counters.update({
+            "writes": sum(m.stats.writes for m in mounts),
+            "stable_writes": sum(m.stats.stable_writes
+                                 for m in mounts),
+            "commits": sum(m.stats.commits for m in mounts),
+            "rpc_writes": sum(m.stats.rpc_writes for m in mounts),
+            "verifier_resends": sum(m.stats.verifier_resends
+                                    for m in mounts),
+            "commit_retries": sum(m.stats.commit_retries
+                                  for m in mounts),
+        })
+        counters.update(shared_counters)
+        payload["journal"] = {f"{name}:{block}": token
+                              for (name, block), token
+                              in sorted(journal.durable.items())}
+        payload["final_reads"] = {f"{name}:{block}": token
+                                  for (name, block), token
+                                  in sorted(final_reads.items())}
+
+    if meta_wl is not None:
+        recovery = [report.to_jsonable()
+                    for report in server.recovery_reports]
+        meta_inputs = MetadataOracleInputs(
+            processes=processes,
+            expected=dict(meta_journal.expected),
+            observed=dict(meta_observed),
+            anomalies=list(meta_journal.anomalies),
+            renames=list(meta_journal.renames),
+            recovery_reports=recovery,
+            cross_boot_reexecutions=(
+                server.stats.cross_boot_meta_reexecutions))
+        meta_oracles = evaluate_metadata_oracles(meta_inputs)
+        # A mixed run shares one liveness verdict (all processes).
+        oracles += meta_oracles[1:] if oracles else meta_oracles
+        counters.update({
+            "creates": sum(m.stats.creates for m in mounts),
+            "mkdirs": sum(m.stats.mkdirs for m in mounts),
+            "removes": sum(m.stats.removes for m in mounts),
+            "renames": sum(m.stats.renames for m in mounts),
+            "meta_intents": server.stats.meta_intents,
+            "meta_commits": server.stats.meta_commits,
+            "meta_replays": server.stats.meta_replays,
+            "meta_undone": server.stats.meta_undone,
+            "cross_boot_meta_reexecutions": (
+                server.stats.cross_boot_meta_reexecutions),
+            "recovery_fscks": len(recovery),
+        })
+        counters.update(shared_counters)
+        payload["meta_expected"] = dict(
+            sorted(meta_journal.expected.items()))
+        payload["meta_observed"] = dict(sorted(meta_observed.items()))
+        payload["meta_renames"] = [[src, dst] for src, dst
+                                   in meta_journal.renames]
+        payload["meta_anomalies"] = list(meta_journal.anomalies)
+        payload["recovery"] = recovery
+
+    payload["oracles"] = [o.to_jsonable() for o in oracles]
+    payload["counters"] = dict(sorted(counters.items()))
     return ChaosResult(schedule=schedule, workload=workload,
                        oracles=oracles, counters=counters,
                        fingerprint=_canonical_fingerprint(payload))

@@ -1,0 +1,240 @@
+"""The metadata chaos workload: journalled namespace mutations.
+
+The write workload (:mod:`.workload`) asks whether acknowledged *data*
+survives crashes; this module asks the same question about the
+*namespace*.  Each client machine runs one :func:`metadata_worker`: a
+sequence of CREATE/MKDIR/REMOVE/RENAME calls against a small set of
+shared directories, with think time between operations so the fault
+schedule's windows land between, during, and across RPCs.
+
+**Name ownership** makes the correctness question exact: client ``i``
+only ever creates, removes, or renames paths whose leaf starts with
+``c{i}``, and every name it mints is monotonically numbered — so for
+every path there is a single writer and a well-defined "latest
+acknowledged state" (file, directory, or absent), which the shared
+:class:`MetaOpsJournal` records.  The oracles then reduce to comparing
+that expectation against an end-of-run ``stat`` sweep taken through a
+cold client cache:
+
+* *no lost acked metadata* — every path whose mutation the server
+  acknowledged is in exactly the acknowledged state at end of run (the
+  RFC 1813 duty: non-idempotent ops reach stable storage before the
+  reply leaves);
+* *rename atomicity* — a rename observed as durable moved the name in
+  one step: never both names present, never neither;
+* *namespace consistency* — every post-crash fsck found nothing to
+  reclaim or repair (recovery itself left no orphans or dangling
+  dirents);
+* *cross-boot idempotency* — a retried non-idempotent op whose original
+  was acknowledged before a reboot is answered from the durable intent
+  log, not silently re-executed.
+
+Workers record an expectation only **after** the acknowledgement
+arrives, so a mutation in flight during a crash is legitimately
+allowed to go either way — exactly the write workload's discipline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..nfs import NfsMount
+from ..nfs.errors import NfsNoEntryError, NfsStatusError
+from ..sim import Simulator
+from .workload import ChaosWorkload
+
+#: Expectation / observation states for a path.
+FILE = "file"
+DIRECTORY = "dir"
+ABSENT = "absent"
+
+
+@dataclass(frozen=True)
+class MetadataWorkload:
+    """Shape of the metadata chaos workload (frozen: bundled)."""
+
+    dirs: int = 2
+    ops_per_client: int = 24
+    create_fraction: float = 0.45
+    remove_fraction: float = 0.2
+    rename_fraction: float = 0.25
+    file_blocks: int = 1
+    think_time: float = 0.4
+
+    def __post_init__(self):
+        if self.dirs < 1:
+            raise ValueError("need at least one directory")
+        if self.ops_per_client < 1:
+            raise ValueError("ops_per_client must be positive")
+        fractions = (self.create_fraction, self.remove_fraction,
+                     self.rename_fraction)
+        if any(f < 0.0 for f in fractions) or sum(fractions) > 1.0:
+            raise ValueError("op fractions must be non-negative and "
+                             "sum to at most 1 (remainder is mkdir)")
+        if self.file_blocks < 1 or self.think_time < 0:
+            raise ValueError("file_blocks must be positive and "
+                             "think_time cannot be negative")
+
+    def to_jsonable(self) -> dict:
+        return {"kind": "metadata", "dirs": self.dirs,
+                "ops_per_client": self.ops_per_client,
+                "create_fraction": self.create_fraction,
+                "remove_fraction": self.remove_fraction,
+                "rename_fraction": self.rename_fraction,
+                "file_blocks": self.file_blocks,
+                "think_time": self.think_time}
+
+    @staticmethod
+    def from_jsonable(data: dict) -> "MetadataWorkload":
+        data = dict(data)
+        kind = data.pop("kind", "metadata")
+        if kind != "metadata":
+            raise ValueError(f"not a metadata workload: kind={kind!r}")
+        return MetadataWorkload(**data)
+
+
+@dataclass(frozen=True)
+class MixedWorkload:
+    """Write and metadata campaigns running concurrently.
+
+    The composition is the point: a crash that recovers the write map
+    but not the namespace (or vice versa) only shows up when both
+    oracles watch the same boots.
+    """
+
+    write: ChaosWorkload = field(default_factory=ChaosWorkload)
+    metadata: MetadataWorkload = field(default_factory=MetadataWorkload)
+
+    def to_jsonable(self) -> dict:
+        return {"kind": "mixed", "write": self.write.to_jsonable(),
+                "metadata": self.metadata.to_jsonable()}
+
+    @staticmethod
+    def from_jsonable(data: dict) -> "MixedWorkload":
+        if data.get("kind") != "mixed":
+            raise ValueError(f"not a mixed workload: "
+                             f"kind={data.get('kind')!r}")
+        return MixedWorkload(
+            write=ChaosWorkload.from_jsonable(data["write"]),
+            metadata=MetadataWorkload.from_jsonable(data["metadata"]))
+
+
+def workload_from_jsonable(data: dict):
+    """Deserialize any workload kind.
+
+    Version-1 bundles carry no ``kind`` key — they are always the
+    write workload, so its wire format is untouched.
+    """
+    kind = data.get("kind")
+    if kind is None:
+        return ChaosWorkload.from_jsonable(data)
+    if kind == "metadata":
+        return MetadataWorkload.from_jsonable(data)
+    if kind == "mixed":
+        return MixedWorkload.from_jsonable(data)
+    raise ValueError(f"unknown workload kind {kind!r}")
+
+
+class MetaOpsJournal:
+    """What the clients collectively claim about the namespace.
+
+    ``expected`` maps a path to the state its owner was last
+    *acknowledged*: :data:`FILE`, :data:`DIRECTORY`, or :data:`ABSENT`.
+    Name ownership is exclusive, so entries never race between clients.
+    ``renames`` records every acknowledged rename for the atomicity
+    oracle; ``anomalies`` records mid-run op failures (a REMOVE
+    answered ``noent`` for a file whose CREATE was acknowledged is
+    lost-acked-metadata showing up early).
+    """
+
+    def __init__(self):
+        self.expected: Dict[str, str] = {}
+        self.renames: List[Tuple[str, str]] = []
+        self.anomalies: List[str] = []
+
+
+def metadata_worker(sim: Simulator, mount: NfsMount, client_index: int,
+                    dir_names: Sequence[str],
+                    workload: MetadataWorkload, rng: random.Random,
+                    journal: MetaOpsJournal):
+    """One client's metadata campaign (generator process)."""
+    bs = mount.config.read_size
+    counter = 0
+    live: List[str] = []
+
+    def fresh_name() -> str:
+        nonlocal counter
+        name = f"{dir_names[rng.randrange(len(dir_names))]}" \
+               f"/c{client_index}f{counter}"
+        counter += 1
+        return name
+
+    for _count in range(workload.ops_per_client):
+        roll = rng.random()
+        create_cut = workload.create_fraction
+        remove_cut = create_cut + workload.remove_fraction
+        rename_cut = remove_cut + workload.rename_fraction
+        try:
+            if roll < create_cut or not live:
+                path = fresh_name()
+                yield from mount.create(
+                    path, size=workload.file_blocks * bs)
+                journal.expected[path] = FILE
+                live.append(path)
+            elif roll < remove_cut:
+                path = live.pop(rng.randrange(len(live)))
+                yield from mount.remove(path)
+                journal.expected[path] = ABSENT
+            elif roll < rename_cut:
+                src = live.pop(rng.randrange(len(live)))
+                dst = fresh_name()
+                yield from mount.rename(src, dst)
+                journal.expected[src] = ABSENT
+                journal.expected[dst] = FILE
+                journal.renames.append((src, dst))
+                live.append(dst)
+            else:
+                path = f"{dir_names[rng.randrange(len(dir_names))]}" \
+                       f"/c{client_index}s{counter}"
+                counter += 1
+                yield from mount.mkdir(path)
+                journal.expected[path] = DIRECTORY
+        except NfsStatusError as error:
+            # The op failed outright on a hard mount: with exclusive
+            # name ownership the only way here is earlier acknowledged
+            # state having vanished (or resurrected) under us.
+            journal.anomalies.append(
+                f"client{client_index}: {error}")
+        if workload.think_time > 0.0:
+            yield sim.timeout(rng.uniform(0.5, 1.5)
+                              * workload.think_time)
+    return None
+
+
+def metadata_verifier(sim: Simulator, mount: NfsMount, workers,
+                      journal: MetaOpsJournal,
+                      observed: Dict[str, str]):
+    """End-of-run namespace audit: the metadata oracles' eyes.
+
+    Waits for every worker, drops the mount's name and attribute
+    caches, then ``stat``\\ s every journalled path through the full
+    LOOKUP path (a hard mount, so the audit rides out any tail of the
+    fault schedule) into ``observed`` for the engine to compare.
+    """
+    for process in workers:
+        if not process.processed:
+            yield process
+    mount.flush_name_caches()
+    for path in sorted(journal.expected):
+        try:
+            attrs = yield from mount.stat(path)
+        except NfsNoEntryError:
+            observed[path] = ABSENT
+        except NfsStatusError as error:
+            observed[path] = f"error:{error.status}"
+        else:
+            observed[path] = (DIRECTORY if attrs.ftype == "dir"
+                              else FILE)
+    return None

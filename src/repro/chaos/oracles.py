@@ -34,6 +34,13 @@ ORACLE_NAMES: Tuple[str, ...] = (
     "liveness", "no_lost_acked_data", "read_your_writes",
     "dupreq_idempotency")
 
+#: Canonical order for the metadata workload's oracles.  A mixed run
+#: reports ``ORACLE_NAMES`` followed by these minus the shared
+#: ``liveness``.
+METADATA_ORACLE_NAMES: Tuple[str, ...] = (
+    "liveness", "no_lost_acked_metadata", "namespace_consistency",
+    "rename_atomicity", "cross_boot_meta_idempotency")
+
 
 @dataclass
 class OracleResult:
@@ -106,3 +113,103 @@ def failed_oracle_names(oracles) -> Tuple[str, ...]:
     """Evaluated-and-failed oracle names, in canonical order."""
     return tuple(o.name for o in oracles
                  if o.evaluated and not o.passed)
+
+
+# ----------------------------------------------------------------------
+# Metadata oracles
+# ----------------------------------------------------------------------
+
+@dataclass
+class MetadataOracleInputs:
+    """Everything the metadata oracles need, gathered by the engine."""
+
+    #: (process name, finished?) for every worker plus the verifier.
+    processes: List[Tuple[str, bool]] = field(default_factory=list)
+    #: The journal's acknowledged namespace claims: path -> state.
+    expected: dict = field(default_factory=dict)
+    #: End-of-run stat sweep through a cold cache: path -> state.
+    observed: dict = field(default_factory=dict)
+    #: Mid-run op failures (lost-acked-metadata showing up early).
+    anomalies: List[str] = field(default_factory=list)
+    #: Every acknowledged rename, in order: (src, dst).
+    renames: List[Tuple[str, str]] = field(default_factory=list)
+    #: One :meth:`~..ffs.FsckReport.to_jsonable` dict per reboot.
+    recovery_reports: List[dict] = field(default_factory=list)
+    #: Server count of acked-then-silently-re-executed metadata ops.
+    cross_boot_reexecutions: int = 0
+
+
+def evaluate_metadata_oracles(
+        inputs: MetadataOracleInputs) -> Tuple[OracleResult, ...]:
+    """All five metadata oracles, in canonical order.
+
+    ``no_lost_acked_metadata`` and ``rename_atomicity`` need the final
+    stat sweep, so — like ``no_lost_acked_data`` — they are undecidable
+    (``evaluated=False``) when liveness fails.  The consistency and
+    idempotency oracles judge evidence collected during the run and are
+    always decided.
+    """
+    unfinished = tuple(f"{name} did not finish"
+                       for name, finished in inputs.processes
+                       if not finished)
+    live = not unfinished
+    liveness = OracleResult("liveness", passed=live,
+                            violations=unfinished)
+
+    if live:
+        lost = list(inputs.anomalies)
+        for path in sorted(inputs.expected):
+            want = inputs.expected[path]
+            got = inputs.observed.get(path)
+            if got != want:
+                lost.append(f"{path}: acked {want}, observed {got}")
+        no_lost = OracleResult("no_lost_acked_metadata",
+                               passed=not lost, violations=tuple(lost))
+
+        torn = []
+        for src, dst in inputs.renames:
+            # Judge only renames still reflected in the final claim;
+            # a later op on either name supersedes this pair.
+            if inputs.expected.get(src) != "absent" \
+                    or inputs.expected.get(dst) != "file":
+                continue
+            got_src = inputs.observed.get(src)
+            got_dst = inputs.observed.get(dst)
+            if got_src == "file" and got_dst == "file":
+                torn.append(f"{src} -> {dst}: both names present "
+                            f"(rename duplicated)")
+            elif got_src == "absent" and got_dst == "absent":
+                torn.append(f"{src} -> {dst}: neither name present "
+                            f"(rename lost the file)")
+        atomic = OracleResult("rename_atomicity", passed=not torn,
+                              violations=tuple(torn))
+    else:
+        no_lost = OracleResult("no_lost_acked_metadata", passed=False,
+                               evaluated=False)
+        atomic = OracleResult("rename_atomicity", passed=False,
+                              evaluated=False)
+
+    messes = []
+    for report in inputs.recovery_reports:
+        epoch = report.get("epoch")
+        for line in report.get("undo_failures", ()):
+            messes.append(f"boot {epoch}: undo failed: {line}")
+        for line in report.get("unhealed", ()):
+            messes.append(f"boot {epoch}: unhealed: {line}")
+        for counter in ("orphans_reclaimed", "dangling_repaired",
+                        "duplicates_dropped", "slot_repairs"):
+            count = report.get(counter, 0)
+            if count:
+                # fsck is the backstop, not the mechanism: recovery
+                # itself must leave nothing for it to fix.
+                messes.append(f"boot {epoch}: {counter}={count}")
+    consistency = OracleResult("namespace_consistency",
+                               passed=not messes,
+                               violations=tuple(messes))
+
+    redo = inputs.cross_boot_reexecutions
+    idem = OracleResult(
+        "cross_boot_meta_idempotency", passed=redo == 0,
+        violations=((f"{redo} acked metadata ops re-executed across "
+                     f"a reboot",) if redo else ()))
+    return (liveness, no_lost, consistency, atomic, idem)

@@ -685,6 +685,12 @@ def _build_campaign_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--horizon", type=float, default=20.0)
     chaos.add_argument("--max-events", type=int, default=4)
     chaos.add_argument("--no-recovery", action="store_true")
+    chaos.add_argument("--workload",
+                       choices=["write", "metadata", "mixed"],
+                       default="write",
+                       help="campaign kind: block writes (default), "
+                            "namespace mutations, or both at once")
+    chaos.add_argument("--ack-before-intent", action="store_true")
     chaos.add_argument("--shrink-runs", type=int, default=48)
     chaos.add_argument("--bundle-dir", metavar="DIR", default=None,
                        help="shrink + bundle one repro per distinct "
@@ -720,9 +726,14 @@ def _main_campaign(argv: List[str]) -> int:
                           horizon=args.horizon,
                           max_events=args.max_events,
                           recovery=not args.no_recovery,
-                          seed=args.seed)
-        title = (f"chaos campaign: {args.budget} schedules on "
-                 f"{args.transport}/{args.heuristic}")
+                          seed=args.seed,
+                          workload=_chaos_workload_jsonable(
+                              args.workload),
+                          ack_before_intent=args.ack_before_intent)
+        kind_tag = ("" if args.workload == "write"
+                    else f"{args.workload} ")
+        title = (f"chaos campaign: {args.budget} {kind_tag}schedules "
+                 f"on {args.transport}/{args.heuristic}")
     options = _campaign_options(args)
     progress = _campaign_progress(spec.cells, quiet=args.json)
     tmp_dir = None
@@ -827,6 +838,18 @@ def _build_chaos_parser() -> argparse.ArgumentParser:
                       help="disable the client's write-verifier "
                            "recovery (bug-reintroduction mode: the "
                            "no-lost-acked-data oracle should fail)")
+    fuzz.add_argument("--workload",
+                      choices=["write", "metadata", "mixed"],
+                      default="write",
+                      help="campaign kind: block writes (default), "
+                           "namespace mutations "
+                           "(CREATE/MKDIR/REMOVE/RENAME), or both "
+                           "at once")
+    fuzz.add_argument("--ack-before-intent", action="store_true",
+                      help="acknowledge metadata ops before forcing "
+                           "the intent log (bug-reintroduction mode: "
+                           "the no-lost-acked-metadata oracle should "
+                           "fail)")
     fuzz.add_argument("--shrink-runs", type=int, default=48,
                       help="run budget per failure for the shrinker")
     fuzz.add_argument("--bundle-dir", metavar="DIR", default=None,
@@ -844,8 +867,26 @@ def _build_chaos_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _chaos_workload(kind: str):
+    """The default workload object for a `--workload` choice."""
+    from .chaos import ChaosWorkload, MetadataWorkload, MixedWorkload
+    if kind == "metadata":
+        return MetadataWorkload()
+    if kind == "mixed":
+        return MixedWorkload()
+    return ChaosWorkload()
+
+
+def _chaos_workload_jsonable(kind: str):
+    """Campaign-spec form: None for the default write workload, so a
+    pre-metadata spec (and its journal fingerprint) is unchanged."""
+    if kind == "write":
+        return None
+    return _chaos_workload(kind).to_jsonable()
+
+
 def _main_chaos(argv: List[str]) -> int:
-    from .chaos import (BundleError, ChaosWorkload, ScheduleFuzzer,
+    from .chaos import (BundleError, ScheduleFuzzer,
                         replay_bundle, run_campaign, shrink,
                         write_bundle)
     from .host.testbed import TestbedConfig
@@ -881,10 +922,11 @@ def _main_chaos(argv: List[str]) -> int:
     config = TestbedConfig(
         transport=args.transport, server_heuristic=args.heuristic,
         nfsheur=args.nfsheur, num_clients=args.clients,
-        mount_verifier_recovery=not args.no_recovery, seed=args.seed)
+        mount_verifier_recovery=not args.no_recovery,
+        meta_ack_before_intent=args.ack_before_intent, seed=args.seed)
     fuzzer = ScheduleFuzzer(args.seed, horizon=args.horizon,
                             max_events=args.max_events)
-    workload = ChaosWorkload()
+    workload = _chaos_workload(args.workload)
     failures = []
 
     def report(run):
@@ -934,6 +976,8 @@ def _main_chaos(argv: List[str]) -> int:
               "clients": args.clients, "horizon": args.horizon,
               "max_events": args.max_events,
               "recovery": not args.no_recovery,
+              "workload": args.workload,
+              "ack_before_intent": args.ack_before_intent,
               "runs": len(runs),
               "failures": failure_records,
               "ok": not failures}
@@ -963,7 +1007,9 @@ def _main_chaos_sharded(args) -> int:
                       heuristic=args.heuristic, nfsheur=args.nfsheur,
                       clients=args.clients, horizon=args.horizon,
                       max_events=args.max_events,
-                      recovery=not args.no_recovery, seed=args.seed)
+                      recovery=not args.no_recovery, seed=args.seed,
+                      workload=_chaos_workload_jsonable(args.workload),
+                      ack_before_intent=args.ack_before_intent)
     options = _campaign_options(args)
     progress = _campaign_progress(spec.cells, quiet=args.json)
     tmp_dir = None

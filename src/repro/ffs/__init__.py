@@ -4,9 +4,16 @@ from .allocator import (AllocationError, DEFAULT_BLOCK_SIZE,
                         SequentialAllocator)
 from .filesystem import FfsParams, FileHandle, FileSystem
 from .inode import Extent, Inode
+from .metajournal import (FsckReport, IntentRecord, MetaJournal,
+                          scan_and_heal, verify_namespace)
 from .namespace import DIRENT_BYTES, Directory, Namespace, split_path
 
 __all__ = [
+    "MetaJournal",
+    "IntentRecord",
+    "FsckReport",
+    "scan_and_heal",
+    "verify_namespace",
     "FileSystem",
     "FileHandle",
     "FfsParams",

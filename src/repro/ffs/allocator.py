@@ -161,6 +161,24 @@ class SequentialAllocator:
         return Inode(name=name, size=self.block_size, extents=[extent],
                      number=next(self._dir_inode_numbers))
 
+    def allocate_journal(self, name: str, nblocks: int) -> Inode:
+        """Reserve a contiguous intent-log region in the metadata area.
+
+        The metadata journal lives with the directories at the end of
+        the partition (one `_take_meta_blocks` call, so the region is
+        contiguous — log appends are sequential writes, as on a real
+        disk).  Numbered from the directory inode space: it is
+        metadata, and must never collide with a data file's handle.
+        """
+        if nblocks < 1:
+            raise ValueError("journal needs at least one block")
+        disk_block = self._take_meta_blocks(nblocks, name)
+        extent = Extent(file_block=0, disk_block=disk_block,
+                        nblocks=nblocks)
+        return Inode(name=name, size=nblocks * self.block_size,
+                     extents=[extent],
+                     number=next(self._dir_inode_numbers))
+
     def extend_dir(self, inode: Inode, nblocks: int = 1) -> None:
         """Grow a directory by ``nblocks`` metadata-region blocks."""
         if nblocks < 1:

@@ -113,6 +113,17 @@ class TestbedConfig:
     #: uncommitted write acked under the old boot.  Off reproduces the
     #: classic lost-acked-data bug the chaos oracles exist to catch.
     mount_verifier_recovery: bool = True
+    #: Metadata intent log: CREATE/MKDIR/REMOVE/RENAME journal an
+    #: intent to stable storage before the reply leaves, so a crash
+    #: never loses an acknowledged namespace mutation.  Off reproduces
+    #: async-metadata servers (the namespace reverts to the last
+    #: journaled prefix — i.e. loses everything volatile).
+    metadata_journal: bool = True
+    #: BUG-REINTRODUCTION HOOK: acknowledge metadata ops without
+    #: forcing the intent log (write-behind journal).  Any crash after
+    #: an acked op then loses it — the defect the
+    #: no-lost-acked-metadata oracle exists to catch.
+    meta_ack_before_intent: bool = False
     #: Client attribute-cache windows (the ``acregmin``/``acregmax``/
     #: ``acdirmin``/``acdirmax`` mount options).  ``acregmax=0``
     #: disables file-attribute caching; ``acdirmax=0`` disables the
@@ -318,7 +329,10 @@ class NfsTestbed(LocalTestbed):
                     heuristic=heuristic,
                     config=NfsServerConfig(
                         nfsheur_params=config.nfsheur_params(),
-                        record_trace=config.record_server_trace),
+                        record_trace=config.record_server_trace,
+                        metadata_journal=config.metadata_journal,
+                        meta_ack_before_intent=(
+                            config.meta_ack_before_intent)),
                     faults=server_faults)
             else:
                 self.server.attach_transport(rpc_server)

@@ -355,6 +355,58 @@ class BufferCache:
         self._writebacks = [event for event in self._writebacks
                             if not event.processed]
 
+    def sync_blocks(self, blknos) -> Event:
+        """Force just the given blocks to the platter (targeted flush).
+
+        The metadata journal's commit primitive: a log force must not
+        piggyback a whole-cache :meth:`sync` — that would flush every
+        dirty data block and couple the data path's durability timing
+        to every CREATE.  Dirty targets are written back here (in
+        contiguous runs, like :meth:`writeback`); targets that are
+        *not* dirty may already be riding an earlier background
+        write-back still in flight, so in that case the returned event
+        conservatively also waits for the pending write-backs — the
+        caller asked for "on the platter", not "handed to the disk".
+        """
+        targets = sorted(set(blknos))
+        dirty_targets = [b for b in targets if b in self._dirty]
+        waits: List[Event] = []
+        if dirty_targets:
+            for blkno in dirty_targets:
+                self._dirty.discard(blkno)
+            run_start = dirty_targets[0]
+            previous = dirty_targets[0]
+            for blkno in dirty_targets[1:] + [None]:
+                if blkno is not None and blkno == previous + 1:
+                    previous = blkno
+                    continue
+                nblocks = previous - run_start + 1
+                request = DiskRequest(
+                    lba=run_start * self.sectors_per_block,
+                    nsectors=nblocks * self.sectors_per_block,
+                    is_write=True)
+                if self._obs_on:
+                    self._observe_io(request, "writeback")
+                done = self.iosched.submit(request)
+                self._writebacks.append(done)
+                self.stats.disk_writes_issued += 1
+                waits.append(done)
+                if blkno is not None:
+                    run_start = blkno
+                    previous = blkno
+        if len(dirty_targets) != len(targets):
+            issued = {id(event) for event in waits}
+            waits.extend(event for event in self._writebacks
+                         if not event.processed
+                         and id(event) not in issued)
+        if not waits:
+            done = self.sim.event(name="cache.sync_blocks")
+            done.succeed()
+            return done
+        if len(waits) == 1:
+            return waits[0]
+        return self.sim.all_of(waits)
+
     def sync(self) -> Event:
         """Event that fires once all issued write-backs are on disk.
 

@@ -317,6 +317,7 @@ class RpcServer:
         self._track_duplicates = track_duplicates
         self._executed_keys: set = set()
         self._handler_takes_span = False
+        self._handler_takes_key = False
         self._m_handle = sim.obs.registry.histogram("rpc.server.handle_s")
         in_transport.bind(self._on_request)
 
@@ -330,6 +331,10 @@ class RpcServer:
         except (TypeError, ValueError):
             parameters = {}
         self._handler_takes_span = "span" in parameters
+        # Handlers that accept ``rpc_key`` get the request's
+        # (client, xid) identity — what a stable-storage replay cache
+        # keys on (the wire protocol already carries both fields).
+        self._handler_takes_key = "rpc_key" in parameters
 
     def _on_request(self, message: RpcMessage) -> None:
         if self.handler is None:
@@ -374,10 +379,12 @@ class RpcServer:
                                        span)
         else:
             span = None
+        kwargs = {}
         if self._handler_takes_span:
-            result = yield from self.handler(message.body, span=span)
-        else:
-            result = yield from self.handler(message.body)
+            kwargs["span"] = span
+        if self._handler_takes_key:
+            kwargs["rpc_key"] = (message.client, message.xid)
+        result = yield from self.handler(message.body, **kwargs)
         self._m_handle.observe(self.sim.now - arrived)
         key = (message.client, message.xid)
         if result is None:

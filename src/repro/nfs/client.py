@@ -264,6 +264,17 @@ class NfsMount:
         self._cache = {key: value for key, value in self._cache.items()
                        if value != "ready"}
 
+    def flush_name_caches(self) -> None:
+        """Drop the attribute and name caches (a fresh-eyes stat).
+
+        Chaos verifiers call this before the end-of-run namespace
+        audit: every subsequent ``stat``/``readdir`` walks the real
+        LOOKUP path, so the verdict reflects server truth rather than
+        this mount's cached view of a pre-crash namespace.
+        """
+        self._attrs.clear()
+        self._dnlc.clear()
+
     def _call(self, request, parent=None):
         """One RPC round trip (generator; returns the reply).
 

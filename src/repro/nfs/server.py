@@ -23,7 +23,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from ..faults.server import CRASH, ServerFaultInjector
-from ..ffs import DIRENT_BYTES, Directory, FileSystem, Inode
+from ..ffs import (DIRENT_BYTES, Directory, FileSystem, FsckReport,
+                   Inode, MetaJournal, scan_and_heal)
 from ..host.machine import Machine
 from ..net.rpc import RpcServer
 from ..obs.provenance import EDGE_ISSUED
@@ -44,6 +45,11 @@ from .protocol import (CommitReply, CommitRequest, CreateReply,
                        WriteRequest)
 
 
+#: The non-idempotent namespace mutations the metadata journal covers.
+_META_REQUESTS = (CreateRequest, MkdirRequest, RemoveRequest,
+                  RenameRequest)
+
+
 @dataclass
 class NfsServerConfig:
     """Server tunables; defaults match the paper's testbed (§4.1)."""
@@ -58,6 +64,18 @@ class NfsServerConfig:
     #: Record every READ arrival as a TraceRecord (instrumentation for
     #: the reordering measurements of §6; off by default).
     record_trace: bool = False
+    #: Journal CREATE/MKDIR/REMOVE/RENAME intents through the buffer
+    #: cache and force them durable before replying (RFC 1813 metadata
+    #: stability).  Off reverts to the pre-journal server: namespace
+    #: mutations survive crashes they physically should not.
+    metadata_journal: bool = True
+    #: Intent-log ring size, in 8 KiB blocks.
+    meta_journal_blocks: int = 16
+    #: BUG-REINTRODUCTION HOOK: acknowledge metadata mutations before
+    #: the intent is forced to the platter (the log rides write-behind
+    #: and normally dies with the next crash).  Exists so the chaos
+    #: no-lost-acked-metadata oracle has a real bug to catch.
+    meta_ack_before_intent: bool = False
 
 
 @dataclass
@@ -79,6 +97,14 @@ class NfsServerStats:
     renames: int = 0
     stale_handles: int = 0
     bad_cookies: int = 0
+    meta_intents: int = 0
+    meta_commits: int = 0
+    meta_replays: int = 0
+    meta_undone: int = 0
+    #: Retried non-idempotent metadata ops that straddled a reboot and
+    #: observably re-executed (answered differently than the pre-boot
+    #: acknowledgement) — the cross-boot idempotency oracle's counter.
+    cross_boot_meta_reexecutions: int = 0
     seqcount_total: int = 0
     crashes: int = 0
     stalls: int = 0
@@ -144,6 +170,18 @@ class NfsServer:
         #: REMOVE deletes the mapping, so later operations on a retained
         #: handle answer ``stale`` (RFC 1813 NFS3ERR_STALE).
         self._by_fh: Dict[FileHandle, Union[Inode, Directory]] = {}
+        #: The metadata intent log (None = pre-journal behaviour).
+        self.metajournal: Optional[MetaJournal] = None
+        if self.config.metadata_journal:
+            self.metajournal = MetaJournal(
+                fs, nblocks=self.config.meta_journal_blocks)
+        #: One FsckReport per recovery, in boot order.
+        self.recovery_reports: List[FsckReport] = []
+        #: Oracle bookkeeping (rides outside payload bytes, like the
+        #: content tokens): (client, xid) -> boot epoch of the
+        #: successful acknowledgement.  Survives crashes on purpose —
+        #: it is the observer's memory, not the server's RAM.
+        self._meta_acked: Dict[Tuple[str, int], int] = {}
         self.root_fh = self._export_node(fs.namespace.root)
         self.attach_transport(rpc)
         for name in sorted(fs.files):
@@ -207,6 +245,15 @@ class NfsServer:
             else:
                 self._volatile[key] = durable
         self._unstable.clear()
+        if self.metajournal is not None:
+            # Namespace recovery: discard un-journaled mutations (undo
+            # the volatile log suffix), then fsck the tree and rebuild
+            # the stable-storage replay cache from the durable prefix.
+            undone, failures = self.metajournal.crash()
+            self.stats.meta_undone += undone
+            self.recovery_reports.append(scan_and_heal(
+                self.fs.namespace, epoch=self.boot_epoch,
+                undo_failures=tuple(failures)))
         self.fs.cache.crash()
         for transport in self._transports:
             transport.crash_reset()
@@ -318,13 +365,17 @@ class NfsServer:
 
     # ------------------------------------------------------------------
 
-    def handle(self, request, span=None):
+    def handle(self, request, span=None, rpc_key=None):
         """RPC dispatch (generator; returns (reply, payload_bytes)).
 
         Returns ``None`` — no reply at all — while the server is down;
         the RPC layer treats that as a dropped request and the client's
         retransmission timer does the rest.  ``span`` is the RPC serve
-        span (passed by the RPC layer when tracing is on).
+        span (passed by the RPC layer when tracing is on); ``rpc_key``
+        is the request's ``(client, xid)`` identity, which the metadata
+        journal stores so a retried non-idempotent op that straddles a
+        reboot can be answered from the recovered log instead of
+        re-executed (the RAM dupreq cache died with the boot).
         """
         if self.sim.now < self._down_until:
             self.stats.dropped_requests += 1
@@ -354,8 +405,30 @@ class NfsServer:
         else:
             nfsd_span = None
         started = self.sim.now
+        is_meta = isinstance(request, _META_REQUESTS)
         try:
-            if isinstance(request, ReadRequest):
+            replayed = None
+            if is_meta and rpc_key is not None \
+                    and self.metajournal is not None:
+                replayed = self.metajournal.replay_reply(rpc_key)
+            if is_meta and self.boot_epoch != epoch:
+                # The stall (or the nfsd queue) carried this request
+                # across a reboot.  A real server lost it with its RAM,
+                # so it must not execute now: a non-idempotent op would
+                # mutate the namespace durably while its reply is
+                # dropped by the epoch guard below — a silent mutation
+                # no retransmission can be answered for.  Idempotent
+                # data ops re-execute harmlessly and keep the pre-PR
+                # contract, so only metadata is gated.
+                reply = None
+            elif replayed is not None:
+                # The durable intent log remembers acknowledging this
+                # exact (client, xid) before a reboot: re-serve the
+                # recorded reply rather than re-executing the op.
+                yield from self.machine.execute(self.config.cpu_per_call)
+                self.stats.meta_replays += 1
+                reply = replayed
+            elif isinstance(request, ReadRequest):
                 reply = yield from self._read(request, span=nfsd_span)
             elif isinstance(request, WriteRequest):
                 reply = yield from self._write(request)
@@ -370,13 +443,13 @@ class NfsServer:
             elif isinstance(request, SetattrRequest):
                 reply = yield from self._setattr(request)
             elif isinstance(request, CreateRequest):
-                reply = yield from self._create(request)
+                reply = yield from self._create(request, rpc_key)
             elif isinstance(request, RemoveRequest):
-                reply = yield from self._remove(request)
+                reply = yield from self._remove(request, rpc_key)
             elif isinstance(request, MkdirRequest):
-                reply = yield from self._mkdir(request)
+                reply = yield from self._mkdir(request, rpc_key)
             elif isinstance(request, RenameRequest):
-                reply = yield from self._rename(request)
+                reply = yield from self._rename(request, rpc_key)
             else:
                 raise TypeError(f"unsupported NFS request {request!r}")
         finally:
@@ -390,6 +463,17 @@ class NfsServer:
             # the client's retransmission executes afresh.
             self.stats.dropped_requests += 1
             return None
+        if is_meta and rpc_key is not None:
+            acked = self._meta_acked.get(rpc_key)
+            ok = self._meta_reply_ok(reply)
+            if acked is not None and acked < epoch and not ok:
+                # Acked before a reboot, answered differently after it:
+                # the op silently re-executed (removed a file that the
+                # pre-boot REMOVE already removed, ...).  This is the
+                # trap the stable-storage replay cache exists to close.
+                self.stats.cross_boot_meta_reexecutions += 1
+            if ok:
+                self._meta_acked[rpc_key] = epoch
         return reply, reply.payload_bytes
 
     def _read(self, request: ReadRequest, span=None):
@@ -509,6 +593,74 @@ class NfsServer:
             return None
         self.stats.commits += 1
         return CommitReply(fh=request.fh, verifier=self.write_verifier)
+
+    # ------------------------------------------------------------------
+    # Metadata journalling (intent-before-mutation, commit-before-reply)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _meta_reply_ok(reply) -> bool:
+        """Would the client treat ``reply`` as success?  ``ok`` —
+        plus the mkdir-retry tolerance, where ``exist`` with a handle
+        is how a replayed MKDIR hands back the directory it made."""
+        if reply.status == "ok":
+            return True
+        return (isinstance(reply, MkdirReply)
+                and reply.status == "exist" and reply.fh is not None)
+
+    def _commit_meta(self, record, epoch: int):
+        """Force ``record`` to the platter before the reply leaves
+        (generator; returns False when a crash interposed — the
+        mutation was already undone and no reply may be sent)."""
+        if self.config.meta_ack_before_intent:
+            # BUG-REINTRODUCTION HOOK: ack immediately; the intent
+            # stays write-behind and races the next crash.
+            return True
+        self.stats.meta_commits += 1
+        ok = yield from self.metajournal.commit(record)
+        return ok and self.boot_epoch == epoch
+
+    def _undo_create(self, directory: Directory, name: str,
+                     inode: Inode, path: str):
+        def undo():
+            if directory.entries.get(name) is inode:
+                directory.drop(name)
+            self.fs.namespace.files.pop(path, None)
+            self._unexport(inode)
+        return undo
+
+    def _undo_mkdir(self, directory: Directory, name: str,
+                    child: Directory):
+        def undo():
+            if directory.entries.get(name) is child:
+                directory.drop(name)
+            self._unexport(child)
+        return undo
+
+    def _undo_remove(self, directory: Directory, name: str,
+                     child: Inode, path: str):
+        def undo():
+            ns = self.fs.namespace
+            if name not in directory.entries:
+                ns._insert(directory, name, child)
+            ns.files[path] = child
+            self._export_node(child)
+        return undo
+
+    def _undo_rename(self, src: str, dst: str, moved, replaced):
+        def undo():
+            ns = self.fs.namespace
+            ns.rename(dst, src)
+            if replaced is not None:
+                parent, name = ns.parent_of(dst)
+                ns._insert(parent, name, replaced)
+                if isinstance(replaced, Directory):
+                    replaced.inode.name = dst
+                else:
+                    ns.files[dst] = replaced
+                    replaced.name = dst
+                self._export_node(replaced)
+        return undo
 
     # ------------------------------------------------------------------
     # Directory I/O: the disk traffic metadata operations really cost.
@@ -677,7 +829,8 @@ class NfsServer:
         self.stats.readdir_entries += len(entries)
         return reply
 
-    def _create(self, request: CreateRequest):
+    def _create(self, request: CreateRequest, rpc_key=None):
+        epoch = self.boot_epoch
         yield from self.machine.execute(self.config.cpu_per_call)
         node = self._by_fh.get(request.dir)
         if node is None:
@@ -700,16 +853,36 @@ class NfsServer:
             return CreateReply(fh=self._export_node(existing),
                                attributes=self._fattr(existing),
                                dir_wcc=wcc)
+        if self.boot_epoch != epoch:
+            # A reboot interposed during the yields above: this boot
+            # never saw the request, so the mutation must not happen
+            # (the dropped reply would leave it silent and durable).
+            return None
+        journal = self.metajournal
+        record = None
+        if journal is not None:
+            path = self.fs.namespace.join(directory, request.name)
+            record = journal.append("create", (path,), rpc_key)
+            self.stats.meta_intents += 1
         inode = self.fs.namespace.create_in(
             directory, request.name, request.size, now=self.sim.now)
         self._dir_write_slot(directory, directory.slots[request.name])
         self.stats.creates += 1
-        return CreateReply(fh=self._export_node(inode),
-                           attributes=self._fattr(inode),
-                           dir_wcc=WccData(before=before,
-                                           after=self._fattr(directory)))
+        reply = CreateReply(fh=self._export_node(inode),
+                            attributes=self._fattr(inode),
+                            dir_wcc=WccData(before=before,
+                                            after=self._fattr(directory)))
+        if record is not None:
+            journal.mark_applied(record, self._undo_create(
+                directory, request.name, inode, record.paths[0]))
+            journal.set_reply(record, reply)
+            ok = yield from self._commit_meta(record, epoch)
+            if not ok:
+                return None
+        return reply
 
-    def _mkdir(self, request: MkdirRequest):
+    def _mkdir(self, request: MkdirRequest, rpc_key=None):
+        epoch = self.boot_epoch
         yield from self.machine.execute(self.config.cpu_per_call)
         node = self._by_fh.get(request.dir)
         if node is None:
@@ -730,16 +903,33 @@ class NfsServer:
                                   attributes=self._fattr(existing),
                                   dir_wcc=wcc)
             return MkdirReply(fh=None, status="exist", dir_wcc=wcc)
+        if self.boot_epoch != epoch:
+            return None  # reboot interposed mid-handler (see _create)
+        journal = self.metajournal
+        record = None
+        if journal is not None:
+            path = self.fs.namespace.join(directory, request.name)
+            record = journal.append("mkdir", (path,), rpc_key)
+            self.stats.meta_intents += 1
         child = self.fs.namespace.mkdir_in(directory, request.name,
                                            now=self.sim.now)
         self._dir_write_slot(directory, directory.slots[request.name])
         self.stats.mkdirs += 1
-        return MkdirReply(fh=self._export_node(child),
-                          attributes=self._fattr(child),
-                          dir_wcc=WccData(before=before,
-                                          after=self._fattr(directory)))
+        reply = MkdirReply(fh=self._export_node(child),
+                           attributes=self._fattr(child),
+                           dir_wcc=WccData(before=before,
+                                           after=self._fattr(directory)))
+        if record is not None:
+            journal.mark_applied(record, self._undo_mkdir(
+                directory, request.name, child))
+            journal.set_reply(record, reply)
+            ok = yield from self._commit_meta(record, epoch)
+            if not ok:
+                return None
+        return reply
 
-    def _remove(self, request: RemoveRequest):
+    def _remove(self, request: RemoveRequest, rpc_key=None):
+        epoch = self.boot_epoch
         yield from self.machine.execute(self.config.cpu_per_call)
         node = self._by_fh.get(request.dir)
         if node is None:
@@ -764,16 +954,33 @@ class NfsServer:
                                    after=self._fattr(directory)))
         slot = directory.slots[request.name]
         yield from self._dir_read_entry(directory, request.name)
+        if self.boot_epoch != epoch:
+            return None  # reboot interposed mid-handler (see _create)
+        journal = self.metajournal
+        record = None
+        if journal is not None:
+            path = self.fs.namespace.join(directory, request.name)
+            record = journal.append("remove", (path,), rpc_key)
+            self.stats.meta_intents += 1
         self.fs.namespace.remove_in(directory, request.name,
                                     now=self.sim.now)
         self._dir_write_slot(directory, slot)
         # The handle dies with the file: retained copies answer stale.
         self._unexport(child)
         self.stats.removes += 1
-        return RemoveReply(dir_wcc=WccData(before=before,
-                                           after=self._fattr(directory)))
+        reply = RemoveReply(dir_wcc=WccData(before=before,
+                                            after=self._fattr(directory)))
+        if record is not None:
+            journal.mark_applied(record, self._undo_remove(
+                directory, request.name, child, record.paths[0]))
+            journal.set_reply(record, reply)
+            ok = yield from self._commit_meta(record, epoch)
+            if not ok:
+                return None
+        return reply
 
-    def _rename(self, request: RenameRequest):
+    def _rename(self, request: RenameRequest, rpc_key=None):
+        epoch = self.boot_epoch
         yield from self.machine.execute(self.config.cpu_per_call)
         from_node = self._by_fh.get(request.from_dir)
         to_node = self._by_fh.get(request.to_dir)
@@ -801,11 +1008,22 @@ class NfsServer:
         if request.to_name in to_node.entries:
             yield from self._dir_read_entry(to_node, request.to_name)
         from_slot = from_node.slots[request.from_name]
+        if self.boot_epoch != epoch:
+            return None  # reboot interposed mid-handler (see _create)
+        journal = self.metajournal
+        record = None
+        if journal is not None:
+            src = self.fs.namespace.join(from_node, request.from_name)
+            dst = self.fs.namespace.join(to_node, request.to_name)
+            record = journal.append("rename", (src, dst), rpc_key)
+            self.stats.meta_intents += 1
         try:
             moved, replaced = self.fs.namespace.rename_in(
                 from_node, request.from_name, to_node, request.to_name,
                 now=self.sim.now)
         except IsADirectoryError:
+            # The intent was logged but never applied; crash recovery
+            # skips !applied records, so the aborted rename is inert.
             return RenameReply(status="isdir", **wccs())
         except NotADirectoryError:
             return RenameReply(status="notdir", **wccs())
@@ -819,4 +1037,12 @@ class NfsServer:
         self._dir_write_slot(from_node, from_slot)
         self._dir_write_slot(to_node, to_node.slots[request.to_name])
         self.stats.renames += 1
-        return RenameReply(**wccs())
+        reply = RenameReply(**wccs())
+        if record is not None:
+            journal.mark_applied(record, self._undo_rename(
+                record.paths[0], record.paths[1], moved, replaced))
+            journal.set_reply(record, reply)
+            ok = yield from self._commit_meta(record, epoch)
+            if not ok:
+                return None
+        return reply

@@ -81,6 +81,38 @@ class TestTestbedMatrix:
         assert a != b
 
 
+class TestMetadataChaosIdentity:
+    """The metadata chaos cell of the battery: intent-log commits,
+    crash recovery with fsck, and the metadata oracles all ride the
+    event kernel, so their full artifact — counters, oracle verdicts,
+    fingerprint payload — must hold the same byte-identity contract."""
+
+    @pytest.mark.parametrize("schedule_id,schedule", SCHEDULES,
+                             ids=[sid for sid, _ in SCHEDULES])
+    def test_metadata_artifacts_byte_identical(self, schedule_id,
+                                               schedule):
+        from repro.chaos import MetadataWorkload
+        config = TestbedConfig(num_clients=2, seed=7)
+        outputs = {}
+        for kernel in KERNELS:
+            with use_kernel(kernel):
+                result = run_chaos(config, schedule,
+                                   MetadataWorkload())
+            outputs[kernel] = canonical(result.to_jsonable())
+        assert outputs["calendar"] == outputs["heap"]
+
+    def test_mixed_artifacts_byte_identical(self):
+        from repro.chaos import MixedWorkload
+        config = TestbedConfig(num_clients=2, seed=7)
+        schedule = SCHEDULES[2][1]
+        outputs = {}
+        for kernel in KERNELS:
+            with use_kernel(kernel):
+                result = run_chaos(config, schedule, MixedWorkload())
+            outputs[kernel] = canonical(result.to_jsonable())
+        assert outputs["calendar"] == outputs["heap"]
+
+
 class TestReplayIdentity:
     @pytest.fixture(scope="class")
     def traces(self):
